@@ -1,0 +1,65 @@
+//! Figure 9(b,c) companion: exploration cost on the full dataset vs the
+//! 10 % sampled replica, across database sizes.
+
+use std::sync::Arc;
+
+use aide_bench::harness::{dense_view, sampled_replica, sdss_table, workloads, ExpOptions};
+use aide_core::{ExplorationSession, SessionConfig, SizeClass};
+use aide_data::NumericView;
+use aide_index::{ExtractionEngine, IndexKind};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+fn bench_dataset_scale(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dataset_scale");
+    group.sample_size(10);
+    for rows in [50_000usize, 200_000] {
+        let table = sdss_table(rows, 1);
+        let full = Arc::new(dense_view(&table));
+        let sampled = Arc::new(sampled_replica(&table, &["rowc", "colc"], 0.1, 99));
+        let options = ExpOptions {
+            rows,
+            sessions: 1,
+            seed: 3,
+        };
+        let w = workloads(&full, 1, SizeClass::Large, 2, &options, 0x9B)[0].clone();
+        let mut run = |name: String, sample_view: &Arc<NumericView>| {
+            let sample_view = Arc::clone(sample_view);
+            let eval_view = Arc::clone(&full);
+            let w = w.clone();
+            group.bench_function(name, move |b| {
+                b.iter_batched(
+                    || {
+                        let engine =
+                            ExtractionEngine::from_arc(Arc::clone(&sample_view), IndexKind::Grid);
+                        ExplorationSession::new(
+                            SessionConfig {
+                                // Evaluation over the full view dominates
+                                // otherwise; the paper's system time
+                                // excludes accuracy evaluation.
+                                eval_every: usize::MAX,
+                                ..SessionConfig::default()
+                            },
+                            engine,
+                            Arc::clone(&eval_view),
+                            w.target.clone(),
+                            w.rng.clone(),
+                        )
+                    },
+                    |mut session| {
+                        for _ in 0..10 {
+                            session.run_iteration();
+                        }
+                        session
+                    },
+                    BatchSize::LargeInput,
+                );
+            });
+        };
+        run(format!("full/{rows}"), &full);
+        run(format!("sampled10pct/{rows}"), &sampled);
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dataset_scale);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Figure 10(b) companion: steering cost as the exploration space grows
+//! from 2-D to 5-D.
+
+use std::sync::Arc;
+
+use aide_bench::harness::{multi_dim_view, sdss_table, workloads, ExpOptions};
+use aide_core::{ExplorationSession, SessionConfig, SizeClass};
+use aide_index::{ExtractionEngine, IndexKind};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+fn bench_dimensionality(c: &mut Criterion) {
+    let table = sdss_table(50_000, 1);
+    let mut group = c.benchmark_group("dimensionality");
+    group.sample_size(10);
+    for dims in 2..=5usize {
+        let view = Arc::new(multi_dim_view(&table, dims));
+        let options = ExpOptions {
+            rows: 50_000,
+            sessions: 1,
+            seed: 11,
+        };
+        let w = workloads(&view, 1, SizeClass::Large, 2, &options, 0xA0)[0].clone();
+        group.bench_function(format!("{dims}d"), |b| {
+            b.iter_batched(
+                || {
+                    let engine = ExtractionEngine::from_arc(Arc::clone(&view), IndexKind::Grid);
+                    ExplorationSession::new(
+                        SessionConfig {
+                            // The paper's system time excludes accuracy
+                            // evaluation (a harness-only step).
+                            eval_every: usize::MAX,
+                            ..SessionConfig::default()
+                        },
+                        engine,
+                        Arc::clone(&view),
+                        w.target.clone(),
+                        w.rng.clone(),
+                    )
+                },
+                |mut session| {
+                    for _ in 0..10 {
+                        session.run_iteration();
+                    }
+                    session
+                },
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dimensionality);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Figure 8(c) companion: per-iteration steering latency (the user wait
+//! time) by relevant-area size, measured as full 10-iteration exploration
+//! bursts so every phase participates.
+
+use std::sync::Arc;
+
+use aide_bench::harness::{dense_view, sdss_table, workloads, ExpOptions};
+use aide_core::{ExplorationSession, SessionConfig, SizeClass};
+use aide_index::{ExtractionEngine, IndexKind};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+fn bench_iteration_time(c: &mut Criterion) {
+    let table = sdss_table(50_000, 1);
+    let view = Arc::new(dense_view(&table));
+    let options = ExpOptions {
+        rows: 50_000,
+        sessions: 1,
+        seed: 7,
+    };
+    let mut group = c.benchmark_group("iteration_time");
+    group.sample_size(10);
+    for (name, size) in [
+        ("large", SizeClass::Large),
+        ("medium", SizeClass::Medium),
+        ("small", SizeClass::Small),
+    ] {
+        let w = workloads(&view, 1, size, 2, &options, 0xC0DE)[0].clone();
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    let engine = ExtractionEngine::from_arc(Arc::clone(&view), IndexKind::Grid);
+                    ExplorationSession::new(
+                        SessionConfig {
+                            // The paper's system time excludes accuracy
+                            // evaluation (a harness-only step).
+                            eval_every: usize::MAX,
+                            ..SessionConfig::default()
+                        },
+                        engine,
+                        Arc::clone(&view),
+                        w.target.clone(),
+                        w.rng.clone(),
+                    )
+                },
+                |mut session| {
+                    for _ in 0..10 {
+                        session.run_iteration();
+                    }
+                    session
+                },
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_iteration_time);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! `repro` — regenerates the AIDE paper's tables and figures.
+//!
+//! ```text
+//! repro all                      # every experiment, default scale
+//! repro fig8a fig8d table1       # selected experiments
+//! repro all --rows 50000 --sessions 3 --seed 7
+//! repro --list
+//! ```
+//!
+//! Run with `--release`; the timing experiments are meaningless in debug
+//! builds.
+
+use std::process::ExitCode;
+
+use aide_bench::experiments;
+use aide_bench::harness::ExpOptions;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut options = ExpOptions::default();
+    let mut ids: Vec<String> = Vec::new();
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--list" => {
+                for id in experiments::ALL {
+                    println!("{id}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--rows" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(v) => options.rows = v,
+                None => return usage("--rows needs a positive integer"),
+            },
+            "--sessions" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(v) => options.sessions = v,
+                None => return usage("--sessions needs a positive integer"),
+            },
+            "--seed" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(v) => options.seed = v,
+                None => return usage("--seed needs an integer"),
+            },
+            "--quick" => {
+                options.rows = 30_000;
+                options.sessions = 2;
+            }
+            "all" => ids.extend(experiments::ALL.iter().map(|s| s.to_string())),
+            other if other.starts_with('-') => {
+                return usage(&format!("unknown flag `{other}`"));
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        return usage("no experiments requested");
+    }
+    println!(
+        "# AIDE reproduction: rows={} sessions={} seed={}",
+        options.rows, options.sessions, options.seed
+    );
+    for id in &ids {
+        let started = std::time::Instant::now();
+        if !experiments::run(id, &options) {
+            eprintln!("unknown experiment `{id}` (try --list)");
+            return ExitCode::FAILURE;
+        }
+        println!("[{id} took {:.1}s]", started.elapsed().as_secs_f64());
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("error: {err}");
+    eprintln!(
+        "usage: repro <experiment>... | all [--rows N] [--sessions N] [--seed N] [--quick] [--list]"
+    );
+    ExitCode::FAILURE
+}

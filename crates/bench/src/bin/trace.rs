@@ -1,0 +1,40 @@
+use aide_bench::harness::*;
+use aide_core::*;
+use std::sync::Arc;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let size = match args.first().map(|s| s.as_str()) {
+        Some("small") => SizeClass::Small,
+        Some("medium") => SizeClass::Medium,
+        _ => SizeClass::Large,
+    };
+    let seed: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(0);
+    let table = sdss_table(100_000, 1);
+    let view = Arc::new(dense_view(&table));
+    let opts = ExpOptions {
+        rows: 100_000,
+        sessions: 1,
+        seed,
+    };
+    let w = &workloads(&view, 1, size, 2, &opts, 99)[0];
+    println!("target areas: {:?}", w.target.areas());
+    let engine =
+        aide_index::ExtractionEngine::from_arc(Arc::clone(&view), aide_index::IndexKind::Grid);
+    let mut s = ExplorationSession::new(
+        SessionConfig::default(),
+        engine,
+        Arc::clone(&view),
+        w.target.clone(),
+        w.rng.clone(),
+    );
+    for _ in 0..60 {
+        let r = s.run_iteration().clone();
+        println!(
+            "it={:2} new={:2} d={:2} m={:2} b={:2} tot={:4} rel={:3} F={:.3} P={:.3} R={:.3} reg={}",
+            r.iteration, r.new_samples, r.discovery_samples, r.misclass_samples,
+            r.boundary_samples, r.total_labeled, r.relevant_labeled,
+            r.f_measure, r.precision, r.recall, r.num_regions
+        );
+    }
+}

@@ -1,0 +1,303 @@
+//! Figure 10 — multi-dimensional exploration spaces (a, b), skewed
+//! domains (c) and the optimization ablations (d, e, f) (§6.3–§6.4).
+
+use std::sync::Arc;
+
+use aide_core::{DiscoveryStrategy, Hints, SessionConfig, SizeClass, StopCondition};
+
+use crate::harness::{
+    multi_dim_view, run_sweep, run_sweep_on, run_sweep_timed, sampled_replica, sdss_table,
+    workloads, workloads_spread, ExpOptions,
+};
+
+use super::header;
+
+/// Figure 10(a): samples to ≥70 % as dimensionality grows from 2-D to
+/// 5-D (targets constrain two attributes; the rest are irrelevant noise
+/// the tree must eliminate).
+pub fn fig10a(options: &ExpOptions) {
+    header("fig10a", "samples vs dimensionality (>=70%, large areas)");
+    dimensionality_sweep(options, |stats| stats.labels_cell(), "mean labels");
+}
+
+/// Figure 10(b): per-iteration time as dimensionality grows.
+pub fn fig10b(options: &ExpOptions) {
+    header(
+        "fig10b",
+        "iteration time vs dimensionality (>=70%, large areas)",
+    );
+    dimensionality_sweep_inner(
+        options,
+        |stats| format!("{:.2} ms", stats.iter_time.mean() * 1e3),
+        "ms per iteration",
+        true,
+    );
+}
+
+fn dimensionality_sweep(
+    options: &ExpOptions,
+    cell: impl Fn(&crate::harness::SweepStats) -> String,
+    unit: &str,
+) {
+    dimensionality_sweep_inner(options, cell, unit, false)
+}
+
+fn dimensionality_sweep_inner(
+    options: &ExpOptions,
+    cell: impl Fn(&crate::harness::SweepStats) -> String,
+    unit: &str,
+    timed: bool,
+) {
+    let table = sdss_table(options.rows, options.seed);
+    let stop = StopCondition {
+        target_f: Some(0.7),
+        max_labels: Some(1_500),
+        max_iterations: 150,
+    };
+    println!(
+        "{:<8} {:>14} {:>14} {:>14} {:>14}   ({unit})",
+        "areas", "2D", "3D", "4D", "5D"
+    );
+    for (i, areas) in [1usize, 3, 5, 7].iter().enumerate() {
+        let mut cells = Vec::new();
+        for dims in 2..=5usize {
+            let view = Arc::new(multi_dim_view(&table, dims));
+            let w = workloads(
+                &view,
+                *areas,
+                SizeClass::Large,
+                2,
+                options,
+                0xA0 + i as u64 * 8 + dims as u64,
+            );
+            let stats = if timed {
+                run_sweep_timed(&SessionConfig::default(), &view, &w, stop, Some(0.7))
+            } else {
+                run_sweep(&SessionConfig::default(), &view, &w, stop, Some(0.7))
+            };
+            cells.push(format!("{:>14}", cell(&stats)));
+        }
+        println!("{:<8} {}", areas, cells.join(" "));
+    }
+}
+
+/// Figure 10(c): skewed exploration spaces — grid AIDE vs the clustering
+/// optimization vs AIDE on a sampled dataset, for NoSkew / HalfSkew /
+/// Skew attribute pairs (1 large area, ≥70 %).
+pub fn fig10c(options: &ExpOptions) {
+    header(
+        "fig10c",
+        "skewed spaces: AIDE vs AIDE-Clustering vs AIDE-Sample (>=70%)",
+    );
+    let table = sdss_table(options.rows, options.seed);
+    let spaces: [(&str, [&str; 2]); 3] = [
+        ("NoSkew", ["rowc", "colc"]),
+        ("HalfSkew", ["rowc", "dec"]),
+        ("Skew", ["dec", "ra"]),
+    ];
+    let stop = StopCondition {
+        target_f: Some(0.7),
+        max_labels: Some(2_000),
+        max_iterations: 200,
+    };
+    let grid = SessionConfig::default();
+    let clustering = SessionConfig {
+        discovery_strategy: DiscoveryStrategy::Clustering,
+        ..SessionConfig::default()
+    };
+    println!(
+        "{:<10} {:>18} {:>18} {:>18}",
+        "space", "AIDE", "AIDE-Clustering", "AIDE-Sample"
+    );
+    for (i, (label, attrs)) in spaces.iter().enumerate() {
+        let view = Arc::new(
+            table
+                .numeric_view(&attrs[..])
+                .expect("skew attributes exist"),
+        );
+        let sampled = Arc::new(sampled_replica(
+            &table,
+            &attrs[..],
+            0.1,
+            options.seed + 70 + i as u64,
+        ));
+        // HalfSkew targets cover sparse as well as dense areas (the
+        // paper says so explicitly); the other spaces anchor on data.
+        let w = if *label == "HalfSkew" {
+            workloads_spread(&view, 1, SizeClass::Large, 2, options, 0xC0 + i as u64)
+        } else {
+            workloads(&view, 1, SizeClass::Large, 2, options, 0xC0 + i as u64)
+        };
+        let on_grid = run_sweep(&grid, &view, &w, stop, Some(0.7));
+        let on_cluster = run_sweep(&clustering, &view, &w, stop, Some(0.7));
+        let on_sample = run_sweep_on(&grid, &sampled, &view, &w, stop, Some(0.7));
+        println!(
+            "{:<10} {:>18} {:>18} {:>18}",
+            label,
+            on_grid.labels_cell(),
+            on_cluster.labels_cell(),
+            on_sample.labels_cell()
+        );
+    }
+}
+
+/// Figure 10(d): the distance-based hint (minimum relevant-area width)
+/// vs no hints — samples to ≥80 % on medium areas.
+pub fn fig10d(options: &ExpOptions) {
+    header("fig10d", "distance-based hint (>=80%, medium areas)");
+    let table = sdss_table(options.rows, options.seed);
+    let view = Arc::new(
+        table
+            .numeric_view(&["rowc", "colc"])
+            .expect("dense attributes"),
+    );
+    let stop = StopCondition {
+        target_f: Some(0.8),
+        max_labels: Some(2_000),
+        max_iterations: 200,
+    };
+    let plain = SessionConfig::default();
+    // Medium areas are at least 4 normalized units wide per dimension.
+    let hinted = SessionConfig {
+        hints: Hints {
+            min_area_width: Some(4.0),
+            range: None,
+        },
+        ..SessionConfig::default()
+    };
+    println!("{:<8} {:>18} {:>22}", "areas", "AIDE", "AIDE+DistanceHint");
+    for (i, areas) in [1usize, 3, 5, 7].iter().enumerate() {
+        let w = workloads(
+            &view,
+            *areas,
+            SizeClass::Medium,
+            2,
+            options,
+            0xD0 + i as u64,
+        );
+        let base = run_sweep(&plain, &view, &w, stop, Some(0.8));
+        let hint = run_sweep(&hinted, &view, &w, stop, Some(0.8));
+        println!(
+            "{:<8} {:>18} {:>22}",
+            areas,
+            base.labels_cell(),
+            hint.labels_cell()
+        );
+    }
+}
+
+/// Figure 10(e): exploration time with clustering-based misclassified
+/// exploitation (one query per cluster) vs one query per misclassified
+/// object (≥80 %, large areas).
+pub fn fig10e(options: &ExpOptions) {
+    header(
+        "fig10e",
+        "clustered misclassified exploitation time (>=80%, large areas)",
+    );
+    let table = sdss_table(options.rows, options.seed);
+    let view = Arc::new(
+        table
+            .numeric_view(&["rowc", "colc"])
+            .expect("dense attributes"),
+    );
+    let stop = StopCondition {
+        target_f: Some(0.8),
+        max_labels: Some(2_000),
+        max_iterations: 200,
+    };
+    // Weka's pruned CART needs several samples inside an area before it
+    // carves a relevant leaf, so false negatives accumulate across
+    // iterations — the regime in which the clustering optimization pays
+    // off. A larger min-leaf reproduces that regime.
+    let base = SessionConfig {
+        tree: aide_ml::TreeParams {
+            min_samples_leaf: 5,
+            min_samples_split: 10,
+            ..aide_ml::TreeParams::default()
+        },
+        misclass_f: 15,
+        ..SessionConfig::default()
+    };
+    let per_cluster = base.clone();
+    let per_object = SessionConfig {
+        clustered_misclassified: false,
+        ..base
+    };
+    // The paper measures wall-clock because each sampling area costs one
+    // MySQL query with real startup/round-trip overhead; our in-memory
+    // engine has no such fixed cost, so the faithful cost proxy is the
+    // number of extraction queries issued (plus measured time for
+    // reference).
+    println!(
+        "{:<8} {:>20} {:>24} {:>16} {:>20}",
+        "areas",
+        "PerCluster queries",
+        "PerMisclassified queries",
+        "query reduction",
+        "measured ms (C/M)"
+    );
+    for (i, areas) in [1usize, 3, 5, 7].iter().enumerate() {
+        let w = workloads(&view, *areas, SizeClass::Large, 2, options, 0xE0 + i as u64);
+        let clustered = run_sweep_timed(&per_cluster, &view, &w, stop, Some(0.8));
+        let object = run_sweep_timed(&per_object, &view, &w, stop, Some(0.8));
+        let reduction =
+            1.0 - clustered.misclass_queries.mean() / object.misclass_queries.mean().max(1.0);
+        println!(
+            "{:<8} {:>20.0} {:>24.0} {:>15.1}% {:>10.1}/{:.1}",
+            areas,
+            clustered.misclass_queries.mean(),
+            object.misclass_queries.mean(),
+            reduction * 100.0,
+            clustered.total_time.mean() * 1e3,
+            object.total_time.mean() * 1e3,
+        );
+    }
+}
+
+/// Figure 10(f): adaptive vs fixed boundary-exploitation sample size —
+/// accuracy reached with a 500-label budget (large areas).
+pub fn fig10f(options: &ExpOptions) {
+    header(
+        "fig10f",
+        "adaptive boundary sample size: accuracy at 500 labels (large areas)",
+    );
+    let table = sdss_table(options.rows, options.seed);
+    let view = Arc::new(
+        table
+            .numeric_view(&["rowc", "colc"])
+            .expect("dense attributes"),
+    );
+    let stop = StopCondition {
+        target_f: None,
+        max_labels: Some(500),
+        max_iterations: 100,
+    };
+    // A larger boundary budget makes the policies diverge: the fixed
+    // variant keeps spending its full allotment on already-settled
+    // boundaries while the adaptive one releases that budget to the two
+    // higher-impact phases (the mechanism §6.4 credits for its +12%).
+    let adaptive = SessionConfig {
+        boundary_alpha_max: 16,
+        ..SessionConfig::default()
+    };
+    let fixed = SessionConfig {
+        boundary_alpha_max: 16,
+        adaptive_boundary: false,
+        ..SessionConfig::default()
+    };
+    println!(
+        "{:<8} {:>20} {:>20}",
+        "areas", "SampleSize-Fixed", "SampleSize-Adaptive"
+    );
+    for (i, areas) in [1usize, 3, 5, 7].iter().enumerate() {
+        let w = workloads(&view, *areas, SizeClass::Large, 2, options, 0xF0 + i as u64);
+        let on_fixed = run_sweep(&fixed, &view, &w, stop, None);
+        let on_adaptive = run_sweep(&adaptive, &view, &w, stop, None);
+        println!(
+            "{:<8} {:>19.1}% {:>19.1}%",
+            areas,
+            on_fixed.final_f.mean() * 100.0,
+            on_adaptive.final_f.mean() * 100.0
+        );
+    }
+}

@@ -1,0 +1,248 @@
+//! Figure 8 — effectiveness and efficiency of AIDE (§6.2).
+
+use std::sync::Arc;
+
+use aide_core::baseline::{random_grid_config, random_grid_misclass_config};
+use aide_core::{SessionConfig, SizeClass, StopCondition};
+
+use crate::harness::{
+    accuracy_ladder, collect_results, dense_view, run_random_sweep, run_sweep, run_sweep_timed,
+    sdss_table, workloads, ExpOptions,
+};
+
+use super::header;
+
+const LEVELS: &[f64] = &[0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
+
+/// Figure 8(a): samples needed per accuracy level as the relevant-area
+/// size shrinks (1 area, 2-D dense space).
+pub fn fig8a(options: &ExpOptions) {
+    header("fig8a", "samples vs accuracy for area sizes (1 area)");
+    let table = sdss_table(options.rows, options.seed);
+    let view = Arc::new(dense_view(&table));
+    println!("accuracy  AIDE-Large  AIDE-Medium  AIDE-Small   (mean labels; n sessions reaching)");
+    let mut ladders = Vec::new();
+    for (i, size) in [SizeClass::Large, SizeClass::Medium, SizeClass::Small]
+        .iter()
+        .enumerate()
+    {
+        let w = workloads(&view, 1, *size, 2, options, 0x8A + i as u64);
+        // Small areas take the longest to discover (the paper reports
+        // ~600 labels for 60 %), so they get a larger budget.
+        let cap = if *size == SizeClass::Small {
+            1_600
+        } else {
+            900
+        };
+        let results = collect_results(
+            &SessionConfig::default(),
+            &view,
+            &w,
+            StopCondition {
+                target_f: Some(0.99),
+                max_labels: Some(cap),
+                max_iterations: 160,
+            },
+        );
+        ladders.push(accuracy_ladder(&results, LEVELS));
+    }
+    for (row, &level) in LEVELS.iter().enumerate() {
+        let cell = |l: &Vec<(f64, Option<f64>, usize)>| match l[row].1 {
+            Some(m) => format!("{:>6.0} ({})", m, l[row].2),
+            None => format!("{:>6} (0)", "-"),
+        };
+        println!(
+            "{:>7.0}%  {}  {}  {}",
+            level * 100.0,
+            cell(&ladders[0]),
+            cell(&ladders[1]),
+            cell(&ladders[2]),
+        );
+    }
+}
+
+/// Figure 8(b): samples per accuracy level as the number of disjoint
+/// relevant areas grows (large areas).
+pub fn fig8b(options: &ExpOptions) {
+    header("fig8b", "samples vs accuracy for 1/3/5/7 areas (large)");
+    let table = sdss_table(options.rows, options.seed);
+    let view = Arc::new(dense_view(&table));
+    println!("accuracy   1-area   3-areas  5-areas  7-areas   (mean labels)");
+    let mut ladders = Vec::new();
+    for (i, areas) in [1usize, 3, 5, 7].iter().enumerate() {
+        let w = workloads(&view, *areas, SizeClass::Large, 2, options, 0x8B + i as u64);
+        let results = collect_results(
+            &SessionConfig::default(),
+            &view,
+            &w,
+            StopCondition {
+                target_f: Some(0.99),
+                max_labels: Some(1_500),
+                max_iterations: 150,
+            },
+        );
+        ladders.push(accuracy_ladder(&results, LEVELS));
+    }
+    for (row, &level) in LEVELS.iter().enumerate() {
+        let cell = |l: &Vec<(f64, Option<f64>, usize)>| match l[row].1 {
+            Some(m) => format!("{:>7.0}", m),
+            None => format!("{:>7}", "-"),
+        };
+        println!(
+            "{:>7.0}%  {}  {}  {}  {}",
+            level * 100.0,
+            cell(&ladders[0]),
+            cell(&ladders[1]),
+            cell(&ladders[2]),
+            cell(&ladders[3]),
+        );
+    }
+}
+
+/// Figure 8(c): per-iteration system time needed to reach each accuracy
+/// level, by area size.
+pub fn fig8c(options: &ExpOptions) {
+    header(
+        "fig8c",
+        "iteration time vs accuracy for area sizes (1 area)",
+    );
+    let table = sdss_table(options.rows, options.seed);
+    let view = Arc::new(dense_view(&table));
+    println!("target-F  Large(ms/iter)  Medium(ms/iter)  Small(ms/iter)");
+    for &level in &[0.2, 0.4, 0.6, 0.8, 0.9] {
+        let mut cells = Vec::new();
+        for (i, size) in [SizeClass::Large, SizeClass::Medium, SizeClass::Small]
+            .iter()
+            .enumerate()
+        {
+            let w = workloads(&view, 1, *size, 2, options, 0x8C + i as u64);
+            let stats = run_sweep_timed(
+                &SessionConfig::default(),
+                &view,
+                &w,
+                StopCondition {
+                    target_f: Some(level),
+                    max_labels: Some(900),
+                    max_iterations: 120,
+                },
+                Some(level),
+            );
+            cells.push(format!("{:>10.2}", stats.iter_time.mean() * 1e3));
+        }
+        println!(
+            "{:>7.0}%  {}      {}       {}",
+            level * 100.0,
+            cells[0],
+            cells[1],
+            cells[2]
+        );
+    }
+}
+
+/// Figure 8(d): samples to reach ≥70 % accuracy — AIDE vs Random vs
+/// Random-Grid, by area size (1 area).
+pub fn fig8d(options: &ExpOptions) {
+    header(
+        "fig8d",
+        "AIDE vs random baselines by area size (>=70%, 1 area)",
+    );
+    compare_baselines(
+        options,
+        &[
+            ("Large", SizeClass::Large, 1),
+            ("Medium", SizeClass::Medium, 1),
+            ("Small", SizeClass::Small, 1),
+        ],
+        0x8D,
+    );
+}
+
+/// Figure 8(e): samples to reach ≥70 % accuracy vs number of areas.
+pub fn fig8e(options: &ExpOptions) {
+    header(
+        "fig8e",
+        "AIDE vs random baselines by number of areas (>=70%, large)",
+    );
+    compare_baselines(
+        options,
+        &[
+            ("1 area", SizeClass::Large, 1),
+            ("3 areas", SizeClass::Large, 3),
+            ("5 areas", SizeClass::Large, 5),
+            ("7 areas", SizeClass::Large, 7),
+        ],
+        0x8E,
+    );
+}
+
+fn compare_baselines(options: &ExpOptions, rows: &[(&str, SizeClass, usize)], salt: u64) {
+    let table = sdss_table(options.rows, options.seed);
+    let view = Arc::new(dense_view(&table));
+    let stop = StopCondition {
+        target_f: Some(0.7),
+        max_labels: Some(6_400),
+        max_iterations: 400,
+    };
+    println!(
+        "{:<8}  {:>18}  {:>18}  {:>18}",
+        "workload", "AIDE", "Random", "Random-Grid"
+    );
+    for (i, (label, size, areas)) in rows.iter().enumerate() {
+        let w = workloads(&view, *areas, *size, 2, options, salt + i as u64);
+        let aide = run_sweep(&SessionConfig::default(), &view, &w, stop, Some(0.7));
+        let random = run_random_sweep(&SessionConfig::default(), &view, &w, stop, Some(0.7));
+        let grid = run_sweep(
+            &random_grid_config(&SessionConfig::default()),
+            &view,
+            &w,
+            stop,
+            Some(0.7),
+        );
+        println!(
+            "{:<8}  {:>18}  {:>18}  {:>18}",
+            label,
+            aide.labels_cell(),
+            random.labels_cell(),
+            grid.labels_cell()
+        );
+    }
+}
+
+/// Figure 8(f): the phase ablation — Random-Grid (discovery only), then
+/// +Misclassified, then full AIDE (1 large area).
+pub fn fig8f(options: &ExpOptions) {
+    header("fig8f", "impact of exploration phases (1 large area)");
+    let table = sdss_table(options.rows, options.seed);
+    let view = Arc::new(dense_view(&table));
+    let stop = StopCondition {
+        target_f: Some(0.99),
+        max_labels: Some(1_500),
+        max_iterations: 200,
+    };
+    let base = SessionConfig::default();
+    let variants: [(&str, SessionConfig); 3] = [
+        ("Random-Grid", random_grid_config(&base)),
+        ("Grid+Misclassified", random_grid_misclass_config(&base)),
+        ("AIDE (all phases)", base.clone()),
+    ];
+    let mut ladders = Vec::new();
+    for (i, (_, config)) in variants.iter().enumerate() {
+        let w = workloads(&view, 1, SizeClass::Large, 2, options, 0x8F + i as u64);
+        let results = collect_results(config, &view, &w, stop);
+        ladders.push(accuracy_ladder(&results, LEVELS));
+    }
+    println!("accuracy  Random-Grid  +Misclassified  AIDE   (mean labels)");
+    for (row, &level) in LEVELS.iter().enumerate() {
+        let cell = |l: &Vec<(f64, Option<f64>, usize)>| match l[row].1 {
+            Some(m) => format!("{:>8.0}", m),
+            None => format!("{:>8}", "-"),
+        };
+        println!(
+            "{:>7.0}%  {}     {}     {}",
+            level * 100.0,
+            cell(&ladders[0]),
+            cell(&ladders[1]),
+            cell(&ladders[2]),
+        );
+    }
+}

@@ -1,0 +1,176 @@
+//! Figure 9 — scalability (§6.3): database size and the sampled-dataset
+//! optimization.
+//!
+//! Scaled sizes: 100 k / 500 k / 1 M rows stand in for the paper's
+//! 10 / 50 / 100 GB databases (the accuracy behaviour depends on
+//! distribution shape, not cardinality; extraction time scales with
+//! cardinality, which is what fig9b/c measure).
+
+use std::sync::Arc;
+
+use aide_core::{SessionConfig, SizeClass, StopCondition};
+
+use crate::harness::{
+    collect_results, dense_view, run_sweep_on_seq, sampled_replica, sdss_table, workloads,
+    ExpOptions,
+};
+
+use super::header;
+
+/// The three scaled database sizes, derived from the base `--rows`.
+fn scaled_sizes(options: &ExpOptions) -> [(String, usize); 3] {
+    [
+        (format!("{}k (~10GB)", options.rows / 1_000), options.rows),
+        (
+            format!("{}k (~50GB)", options.rows * 5 / 1_000),
+            options.rows * 5,
+        ),
+        (
+            format!("{}k (~100GB)", options.rows * 10 / 1_000),
+            options.rows * 10,
+        ),
+    ]
+}
+
+/// Figure 9(a): accuracy reached at fixed label budgets across database
+/// sizes (1 large area) — DB size should not affect effectiveness.
+pub fn fig9a(options: &ExpOptions) {
+    header(
+        "fig9a",
+        "accuracy vs labels across database sizes (1 large area)",
+    );
+    let budgets = [250usize, 300, 350, 400, 450, 500];
+    println!(
+        "{:<16} {}",
+        "dataset",
+        budgets
+            .iter()
+            .map(|b| format!("{b:>7}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+    for (i, (label, rows)) in scaled_sizes(options).iter().enumerate() {
+        let table = sdss_table(*rows, options.seed + i as u64);
+        let view = Arc::new(dense_view(&table));
+        let w = workloads(&view, 1, SizeClass::Large, 2, options, 0x9A + i as u64);
+        let results = collect_results(
+            &SessionConfig::default(),
+            &view,
+            &w,
+            StopCondition {
+                target_f: None,
+                max_labels: Some(*budgets.last().expect("non-empty")),
+                max_iterations: 100,
+            },
+        );
+        let row: Vec<String> = budgets
+            .iter()
+            .map(|&budget| {
+                // Best accuracy any iteration within the budget achieved,
+                // averaged over sessions.
+                let mean: f64 = results
+                    .iter()
+                    .map(|r| {
+                        r.history
+                            .iter()
+                            .filter(|it| it.total_labeled <= budget)
+                            .map(|it| it.f_measure)
+                            .fold(0.0, f64::max)
+                    })
+                    .sum::<f64>()
+                    / results.len() as f64;
+                format!("{:>6.1}%", mean * 100.0)
+            })
+            .collect();
+        println!("{:<16} {}", label, row.join(" "));
+    }
+}
+
+/// Figure 9(b): accuracy delta and execution-time improvement when AIDE
+/// runs on a 10 % sampled replica instead of the full dataset.
+pub fn fig9b(options: &ExpOptions) {
+    header(
+        "fig9b",
+        "sampled datasets: accuracy difference and time improvement (1 large area)",
+    );
+    println!(
+        "{:<16} {:>10} {:>12} {:>14} {:>14}",
+        "dataset", "F(full)", "F(sampled)", "time(full)", "improvement"
+    );
+    for (i, (label, rows)) in scaled_sizes(options).iter().enumerate() {
+        let table = sdss_table(*rows, options.seed + i as u64);
+        let full = Arc::new(dense_view(&table));
+        let sampled = Arc::new(sampled_replica(
+            &table,
+            &["rowc", "colc"],
+            0.1,
+            options.seed + 90 + i as u64,
+        ));
+        let w = workloads(&full, 1, SizeClass::Large, 2, options, 0x9B + i as u64);
+        let stop = StopCondition {
+            target_f: None,
+            max_labels: Some(400),
+            max_iterations: 60,
+        };
+        let on_full = run_sweep_on_seq(&SessionConfig::default(), &full, &full, &w, stop, None);
+        let on_sampled =
+            run_sweep_on_seq(&SessionConfig::default(), &sampled, &full, &w, stop, None);
+        let improvement = 1.0 - on_sampled.total_time.mean() / on_full.total_time.mean();
+        println!(
+            "{:<16} {:>9.1}% {:>11.1}% {:>12.0}ms {:>13.1}%",
+            label,
+            on_full.final_f.mean() * 100.0,
+            on_sampled.final_f.mean() * 100.0,
+            on_full.total_time.mean() * 1e3,
+            improvement * 100.0
+        );
+    }
+}
+
+/// Figure 9(c): per-iteration time improvement from sampled datasets as
+/// query complexity (number of areas) grows, on the largest dataset.
+pub fn fig9c(options: &ExpOptions) {
+    header(
+        "fig9c",
+        "sampled datasets: iteration-time improvement vs number of areas (>=70%)",
+    );
+    let rows = options.rows * 10;
+    let table = sdss_table(rows, options.seed + 2);
+    let full = Arc::new(dense_view(&table));
+    let sampled = Arc::new(sampled_replica(
+        &table,
+        &["rowc", "colc"],
+        0.1,
+        options.seed + 92,
+    ));
+    let stop = StopCondition {
+        target_f: Some(0.7),
+        max_labels: Some(1_500),
+        max_iterations: 150,
+    };
+    println!(
+        "{:<8} {:>16} {:>16} {:>13}",
+        "areas", "full (ms/iter)", "sampled (ms/iter)", "improvement"
+    );
+    for (i, areas) in [1usize, 3, 5, 7].iter().enumerate() {
+        let w = workloads(&full, *areas, SizeClass::Large, 2, options, 0x9C + i as u64);
+        let on_full =
+            run_sweep_on_seq(&SessionConfig::default(), &full, &full, &w, stop, Some(0.7));
+        let on_sampled = run_sweep_on_seq(
+            &SessionConfig::default(),
+            &sampled,
+            &full,
+            &w,
+            stop,
+            Some(0.7),
+        );
+        let improvement = 1.0 - on_sampled.iter_time.mean() / on_full.iter_time.mean();
+        println!(
+            "{:<8} {:>14.2}   {:>14.2}   {:>11.1}%",
+            areas,
+            on_full.iter_time.mean() * 1e3,
+            on_sampled.iter_time.mean() * 1e3,
+            improvement * 100.0
+        );
+    }
+}

@@ -1,0 +1,70 @@
+//! One driver per paper table/figure. Each `run` prints the same rows or
+//! series the paper reports (shapes, not absolute numbers — see
+//! `EXPERIMENTS.md`).
+
+pub mod ext;
+pub mod fig10;
+pub mod fig8;
+pub mod fig9;
+pub mod table1;
+
+use crate::harness::ExpOptions;
+
+/// All experiment ids, in paper order.
+pub const ALL: &[&str] = &[
+    "fig8a",
+    "fig8b",
+    "fig8c",
+    "fig8d",
+    "fig8e",
+    "fig8f",
+    "fig9a",
+    "fig9b",
+    "fig9c",
+    "fig10a",
+    "fig10b",
+    "fig10c",
+    "fig10d",
+    "fig10e",
+    "fig10f",
+    "table1",
+    "ext-hybrid",
+    "ext-nonlinear",
+    "ext-adaptive-y",
+    "ext-noise",
+];
+
+/// Dispatches one experiment by id. Returns `false` for unknown ids.
+pub fn run(id: &str, options: &ExpOptions) -> bool {
+    match id {
+        "fig8a" => fig8::fig8a(options),
+        "fig8b" => fig8::fig8b(options),
+        "fig8c" => fig8::fig8c(options),
+        "fig8d" => fig8::fig8d(options),
+        "fig8e" => fig8::fig8e(options),
+        "fig8f" => fig8::fig8f(options),
+        "fig9a" => fig9::fig9a(options),
+        "fig9b" => fig9::fig9b(options),
+        "fig9c" => fig9::fig9c(options),
+        "fig10a" => fig10::fig10a(options),
+        "fig10b" => fig10::fig10b(options),
+        "fig10c" => fig10::fig10c(options),
+        "fig10d" => fig10::fig10d(options),
+        "fig10e" => fig10::fig10e(options),
+        "fig10f" => fig10::fig10f(options),
+        "table1" => table1::table1(options),
+        "ext-hybrid" => ext::ext_hybrid(options),
+        "ext-nonlinear" => ext::ext_nonlinear(options),
+        "ext-adaptive-y" => ext::ext_adaptive_y(options),
+        "ext-noise" => ext::ext_noise(options),
+        "ext-uncertainty" => ext::ext_uncertainty(options),
+        _ => return false,
+    }
+    true
+}
+
+/// Prints a section header.
+pub(crate) fn header(id: &str, title: &str) {
+    println!();
+    println!("=== {id}: {title} ===");
+}

@@ -1,0 +1,52 @@
+//! Table 1 — the user study (§6.5).
+
+use aide_core::user_study::run_user_study;
+
+use crate::harness::ExpOptions;
+
+use super::header;
+
+/// Reproduces Table 1: per-user manual-exploration observations (from the
+/// paper) against AIDE's measured reviewing effort and estimated total
+/// exploration time.
+pub fn table1(options: &ExpOptions) {
+    header(
+        "table1",
+        "user study: reviewing savings and exploration time",
+    );
+    let rows = run_user_study(options.rows, options.seed);
+    println!(
+        "{:>4} {:>16} {:>16} {:>14} {:>10} {:>13} {:>11} {:>8}",
+        "user",
+        "manual returned",
+        "manual reviewed",
+        "AIDE reviewed",
+        "savings",
+        "manual (min)",
+        "AIDE (min)",
+        "final F"
+    );
+    let mut total_savings = 0.0;
+    let mut total_time_savings = 0.0;
+    for r in &rows {
+        println!(
+            "{:>4} {:>16} {:>16} {:>14} {:>9.1}% {:>13.0} {:>11.1} {:>7.1}%",
+            r.user,
+            r.manual_returned,
+            r.manual_reviewed,
+            r.aide_reviewed,
+            r.savings * 100.0,
+            r.manual_minutes,
+            r.aide_minutes,
+            r.final_f * 100.0
+        );
+        total_savings += r.savings;
+        total_time_savings += 1.0 - r.aide_minutes / r.manual_minutes;
+    }
+    println!(
+        "mean reviewing savings: {:.1}%   mean exploration-time savings: {:.1}%",
+        total_savings / rows.len() as f64 * 100.0,
+        total_time_savings / rows.len() as f64 * 100.0
+    );
+    println!("(paper: 66% average reviewing savings, 47% average time savings)");
+}

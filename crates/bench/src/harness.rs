@@ -1,0 +1,384 @@
+//! Shared machinery for the experiment drivers: workload construction,
+//! multi-seed session sweeps and aggregate reporting.
+//!
+//! The paper reports averages over ten exploration sessions per data point
+//! (§6.1); [`run_sweep`] reproduces that protocol with a configurable
+//! session count so quick runs stay quick.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use aide_core::baseline::run_random;
+use aide_core::{
+    ExplorationSession, SessionConfig, SessionResult, SizeClass, StopCondition, TargetQuery,
+};
+use aide_data::{sdss_like, NumericView, Table};
+use aide_index::{ExtractionEngine, IndexKind};
+use aide_util::rng::{SeedStream, Xoshiro256pp};
+use aide_util::stats::OnlineStats;
+
+/// Global options for an experiment run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExpOptions {
+    /// Rows in the base synthetic dataset (100 k stands in for the
+    /// paper's 10 GB / 3 M-tuple database).
+    pub rows: usize,
+    /// Exploration sessions averaged per data point (paper uses 10).
+    pub sessions: u64,
+    /// Root seed for the whole experiment.
+    pub seed: u64,
+}
+
+impl Default for ExpOptions {
+    fn default() -> Self {
+        Self {
+            rows: 100_000,
+            sessions: 5,
+            seed: 1,
+        }
+    }
+}
+
+/// The SDSS-like base table for an experiment.
+pub fn sdss_table(rows: usize, seed: u64) -> Table {
+    let mut rng = Xoshiro256pp::seed_from_u64(seed ^ 0x5D55);
+    sdss_like(rows).generate(&mut rng)
+}
+
+/// The default dense 2-D exploration view (`rowc`, `colc`), as used by
+/// most of the paper's experiments.
+pub fn dense_view(table: &Table) -> NumericView {
+    table
+        .numeric_view(&["rowc", "colc"])
+        .expect("SDSS-like table has rowc/colc")
+}
+
+/// A view over the first `dims` of the paper's exploration attributes
+/// (`rowc, colc, ra, field, dec`), for the dimensionality experiments.
+pub fn multi_dim_view(table: &Table, dims: usize) -> NumericView {
+    let attrs = ["rowc", "colc", "ra", "field", "dec"];
+    assert!((2..=5).contains(&dims), "paper explores 2-D to 5-D");
+    table
+        .numeric_view(&attrs[..dims])
+        .expect("SDSS-like exploration attributes")
+}
+
+/// One workload instance: a target plus the per-session seed.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// The ground-truth target query.
+    pub target: TargetQuery,
+    /// Per-session RNG.
+    pub rng: Xoshiro256pp,
+}
+
+/// Generates the per-session workloads for a sweep: each session gets an
+/// independently placed target (anchored on data) and an independent RNG.
+pub fn workloads(
+    view: &NumericView,
+    areas: usize,
+    size: SizeClass,
+    relevant_dims: usize,
+    options: &ExpOptions,
+    salt: u64,
+) -> Vec<Workload> {
+    let stream = SeedStream::new(options.seed.wrapping_add(salt.wrapping_mul(0x9E37)));
+    (0..options.sessions)
+        .map(|s| {
+            let mut rng = stream.stream(s * 2);
+            let target = TargetQuery::generate(view, areas, size, relevant_dims, &mut rng);
+            Workload {
+                target,
+                rng: stream.stream(s * 2 + 1),
+            }
+        })
+        .collect()
+}
+
+/// Like [`workloads`] but with *spread* targets (anchors uniform over the
+/// space instead of over the data), the HalfSkew workload of §6.4.
+pub fn workloads_spread(
+    view: &NumericView,
+    areas: usize,
+    size: SizeClass,
+    relevant_dims: usize,
+    options: &ExpOptions,
+    salt: u64,
+) -> Vec<Workload> {
+    let stream = SeedStream::new(options.seed.wrapping_add(salt.wrapping_mul(0x9E37)));
+    (0..options.sessions)
+        .map(|s| {
+            let mut rng = stream.stream(s * 2);
+            let target = TargetQuery::generate_spread(view, areas, size, relevant_dims, &mut rng);
+            Workload {
+                target,
+                rng: stream.stream(s * 2 + 1),
+            }
+        })
+        .collect()
+}
+
+/// Aggregates of a multi-session sweep.
+#[derive(Debug, Clone, Default)]
+pub struct SweepStats {
+    /// Labels needed to reach the sweep's accuracy threshold (only
+    /// sessions that reached it).
+    pub labels: OnlineStats,
+    /// Final F-measure across sessions.
+    pub final_f: OnlineStats,
+    /// Mean per-iteration duration across sessions.
+    pub iter_time: OnlineStats,
+    /// Total system execution time across sessions.
+    pub total_time: OnlineStats,
+    /// Iterations executed.
+    pub iterations: OnlineStats,
+    /// Total extraction queries issued per session (the paper's sample-
+    /// acquisition cost driver; our in-memory engine has no per-query
+    /// startup cost, so query counts are the faithful cost proxy for the
+    /// DBMS backend the paper ran on).
+    pub queries: OnlineStats,
+    /// Misclassified-phase extraction queries per session.
+    pub misclass_queries: OnlineStats,
+    /// Sessions that reached the threshold.
+    pub reached: u64,
+    /// Sessions run.
+    pub total: u64,
+}
+
+impl SweepStats {
+    /// Records one session's outcome against `threshold`.
+    pub fn record(&mut self, result: &SessionResult, threshold: Option<f64>) {
+        self.total += 1;
+        self.final_f.push(result.final_f);
+        self.iter_time
+            .push(result.mean_iteration_time().as_secs_f64());
+        self.total_time.push(result.total_time.as_secs_f64());
+        self.iterations.push(result.iterations as f64);
+        self.queries.push(
+            result
+                .history
+                .iter()
+                .map(|r| r.extraction.queries)
+                .sum::<u64>() as f64,
+        );
+        self.misclass_queries.push(
+            result
+                .history
+                .iter()
+                .map(|r| r.misclass_queries)
+                .sum::<u64>() as f64,
+        );
+        if let Some(t) = threshold {
+            if let Some(labels) = result.labels_to_reach(t) {
+                self.labels.push(labels as f64);
+                self.reached += 1;
+            }
+        }
+    }
+
+    /// `mean ± std (reached/total)` for the labels column.
+    pub fn labels_cell(&self) -> String {
+        if self.reached == 0 {
+            return format!("not reached (0/{})", self.total);
+        }
+        format!(
+            "{:.0} ({}/{})",
+            self.labels.mean(),
+            self.reached,
+            self.total
+        )
+    }
+}
+
+/// Sequential version of [`run_sweep`] for *timing* experiments: running
+/// sessions on one thread keeps per-iteration latencies free of
+/// scheduler contention.
+pub fn run_sweep_timed(
+    config: &SessionConfig,
+    view: &Arc<NumericView>,
+    workloads: &[Workload],
+    stop: StopCondition,
+    threshold: Option<f64>,
+) -> SweepStats {
+    run_sweep_on_seq(config, view, view, workloads, stop, threshold)
+}
+
+/// Sequential core used by the timing experiments.
+pub fn run_sweep_on_seq(
+    config: &SessionConfig,
+    sample_view: &Arc<NumericView>,
+    eval_view: &Arc<NumericView>,
+    workloads: &[Workload],
+    stop: StopCondition,
+    threshold: Option<f64>,
+) -> SweepStats {
+    let mut stats = SweepStats::default();
+    for w in workloads {
+        let engine = ExtractionEngine::from_arc(Arc::clone(sample_view), IndexKind::Grid);
+        let mut session = ExplorationSession::new(
+            config.clone(),
+            engine,
+            Arc::clone(eval_view),
+            w.target.clone(),
+            w.rng.clone(),
+        );
+        let result = session.run(stop);
+        stats.record(&result, threshold);
+    }
+    stats
+}
+
+/// Runs AIDE over every workload and aggregates.
+pub fn run_sweep(
+    config: &SessionConfig,
+    view: &Arc<NumericView>,
+    workloads: &[Workload],
+    stop: StopCondition,
+    threshold: Option<f64>,
+) -> SweepStats {
+    run_sweep_on(config, view, view, workloads, stop, threshold)
+}
+
+/// Like [`run_sweep`] but extracting samples from `sample_view` while
+/// evaluating accuracy on `eval_view` — the sampled-dataset optimization
+/// (§5.2): `sample_view` is a 10 % simple random sample of `eval_view`.
+pub fn run_sweep_on(
+    config: &SessionConfig,
+    sample_view: &Arc<NumericView>,
+    eval_view: &Arc<NumericView>,
+    workloads: &[Workload],
+    stop: StopCondition,
+    threshold: Option<f64>,
+) -> SweepStats {
+    // Sessions are independent (each workload carries its own RNG), so
+    // they run on scoped threads; results are recorded in workload order
+    // to keep the aggregates deterministic.
+    let results: Vec<SessionResult> = std::thread::scope(|scope| {
+        let handles: Vec<_> = workloads
+            .iter()
+            .map(|w| {
+                scope.spawn(|| {
+                    let engine =
+                        ExtractionEngine::from_arc(Arc::clone(sample_view), IndexKind::Grid);
+                    let mut session = ExplorationSession::new(
+                        config.clone(),
+                        engine,
+                        Arc::clone(eval_view),
+                        w.target.clone(),
+                        w.rng.clone(),
+                    );
+                    session.run(stop)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("session thread panicked"))
+            .collect()
+    });
+    let mut stats = SweepStats::default();
+    for result in &results {
+        stats.record(result, threshold);
+    }
+    stats
+}
+
+/// Runs the *Random* baseline over every workload.
+pub fn run_random_sweep(
+    config: &SessionConfig,
+    view: &Arc<NumericView>,
+    workloads: &[Workload],
+    stop: StopCondition,
+    threshold: Option<f64>,
+) -> SweepStats {
+    let mut stats = SweepStats::default();
+    for w in workloads {
+        let engine = ExtractionEngine::from_arc(Arc::clone(view), IndexKind::Grid);
+        let result = run_random(
+            config,
+            engine,
+            Arc::clone(view),
+            w.target.clone(),
+            w.rng.clone(),
+            stop,
+        );
+        stats.record(&result, threshold);
+    }
+    stats
+}
+
+/// Average labels needed to first reach each accuracy level, over the
+/// sessions that got there. Returns `(level, mean labels, reached)` rows.
+pub fn accuracy_ladder(
+    results: &[SessionResult],
+    levels: &[f64],
+) -> Vec<(f64, Option<f64>, usize)> {
+    levels
+        .iter()
+        .map(|&level| {
+            let mut stats = OnlineStats::new();
+            for r in results {
+                if let Some(l) = r.labels_to_reach(level) {
+                    stats.push(l as f64);
+                }
+            }
+            let reached = stats.count() as usize;
+            let mean = (reached > 0).then(|| stats.mean());
+            (level, mean, reached)
+        })
+        .collect()
+}
+
+/// Runs AIDE over workloads, returning the raw per-session results (for
+/// ladder-style reports).
+pub fn collect_results(
+    config: &SessionConfig,
+    view: &Arc<NumericView>,
+    workloads: &[Workload],
+    stop: StopCondition,
+) -> Vec<SessionResult> {
+    workloads
+        .iter()
+        .map(|w| {
+            let engine = ExtractionEngine::from_arc(Arc::clone(view), IndexKind::Grid);
+            let mut session = ExplorationSession::new(
+                config.clone(),
+                engine,
+                Arc::clone(view),
+                w.target.clone(),
+                w.rng.clone(),
+            );
+            session.run(stop)
+        })
+        .collect()
+}
+
+/// Builds the 10 % simple-random-sample replica view of a table's
+/// projection, sharing the base view's domains so normalized coordinates
+/// agree (§5.2).
+pub fn sampled_replica(table: &Table, attrs: &[&str], fraction: f64, seed: u64) -> NumericView {
+    let mut rng = Xoshiro256pp::seed_from_u64(seed ^ 0x5A3D_17EE);
+    let domains = attrs
+        .iter()
+        .map(|a| table.domain(a).expect("numeric attribute"))
+        .collect::<Vec<_>>();
+    let sampled = table.sample_fraction(fraction, &mut rng);
+    sampled
+        .numeric_view_with_domains(attrs, domains)
+        .expect("sampled replica shares the schema")
+}
+
+/// Formats a `Duration` mean in milliseconds.
+pub fn ms(seconds: f64) -> String {
+    format!("{:.1} ms", seconds * 1e3)
+}
+
+/// Formats a duration value.
+pub fn dur(d: Duration) -> String {
+    format!("{:.1} ms", d.as_secs_f64() * 1e3)
+}
+
+/// Simple percent formatting.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}

@@ -1,0 +1,11 @@
+//! Experiment harness reproducing every table and figure of the AIDE
+//! paper's evaluation (§6). See `DESIGN.md` §4 for the experiment index
+//! and `EXPERIMENTS.md` for recorded results.
+//!
+//! The `repro` binary drives [`experiments`]; Criterion benches under
+//! `benches/` cover the latency-sensitive results.
+
+pub mod experiments;
+pub mod harness;
+
+pub use harness::{ExpOptions, SweepStats};

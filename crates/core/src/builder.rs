@@ -1,0 +1,274 @@
+//! Fluent construction of exploration sessions.
+//!
+//! [`Explorer`] wires the whole pipeline — table → normalized view →
+//! extraction engine (optionally over a sampled replica) → oracle →
+//! session — in one chain:
+//!
+//! ```
+//! use aide_core::{Explorer, SizeClass, StopCondition};
+//! use aide_data::sdss_like;
+//! use aide_util::rng::Xoshiro256pp;
+//!
+//! let mut rng = Xoshiro256pp::seed_from_u64(1);
+//! let table = sdss_like(5_000).generate(&mut rng);
+//! let mut session = Explorer::over(&table)
+//!     .attributes(&["rowc", "colc"])
+//!     .seed(7)
+//!     .simulated_target(1, SizeClass::Large)
+//!     .build()
+//!     .expect("valid exploration setup");
+//! let result = session.run(StopCondition::at_labels(100));
+//! assert!(result.total_labeled <= 120);
+//! ```
+
+use std::sync::Arc;
+
+use aide_data::{DataError, NumericView, Table};
+use aide_index::{ExtractionEngine, IndexKind};
+use aide_util::rng::Xoshiro256pp;
+
+use crate::config::SessionConfig;
+use crate::oracle::RelevanceOracle;
+use crate::session::ExplorationSession;
+use crate::target::{SizeClass, TargetQuery};
+
+/// What will answer the relevance questions.
+enum OracleChoice {
+    /// Simulate a user with a generated target (`areas`, `size`).
+    Generated { areas: usize, size: SizeClass },
+    /// Simulate a user with an explicit target.
+    Target(TargetQuery),
+    /// A caller-provided oracle (real user, rule, crowd…), optionally
+    /// with a reference truth for evaluation.
+    Custom(Box<dyn RelevanceOracle>, Option<TargetQuery>),
+}
+
+/// Builder for [`ExplorationSession`].
+pub struct Explorer<'t> {
+    table: &'t Table,
+    attrs: Vec<String>,
+    config: SessionConfig,
+    index: IndexKind,
+    sample_fraction: Option<f64>,
+    seed: u64,
+    oracle: Option<OracleChoice>,
+}
+
+impl<'t> Explorer<'t> {
+    /// Starts building an exploration over `table`.
+    pub fn over(table: &'t Table) -> Self {
+        Self {
+            table,
+            attrs: Vec::new(),
+            config: SessionConfig::default(),
+            index: IndexKind::Grid,
+            sample_fraction: None,
+            seed: 0,
+            oracle: None,
+        }
+    }
+
+    /// The exploration attributes (must be numeric columns).
+    pub fn attributes(mut self, attrs: &[&str]) -> Self {
+        self.attrs = attrs.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
+    /// Replaces the default [`SessionConfig`].
+    pub fn config(mut self, config: SessionConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Chooses the sample-extraction access path (default: grid).
+    pub fn index(mut self, kind: IndexKind) -> Self {
+        self.index = kind;
+        self
+    }
+
+    /// Runs extraction against a simple-random-sampled replica of the
+    /// table (the §5.2 scalability optimization); accuracy is still
+    /// evaluated on the full view. `fraction` is clamped to `(0, 1]`.
+    pub fn sampled_fraction(mut self, fraction: f64) -> Self {
+        self.sample_fraction = Some(fraction.clamp(1e-6, 1.0));
+        self
+    }
+
+    /// Seed for every stochastic component of the session.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Simulates the user with a generated target of `areas` relevant
+    /// areas of the given size class (anchored on the data).
+    pub fn simulated_target(mut self, areas: usize, size: SizeClass) -> Self {
+        self.oracle = Some(OracleChoice::Generated { areas, size });
+        self
+    }
+
+    /// Simulates the user with an explicit target query.
+    pub fn target(mut self, target: TargetQuery) -> Self {
+        self.oracle = Some(OracleChoice::Target(target));
+        self
+    }
+
+    /// Uses a caller-provided oracle; pass `ground_truth` when a
+    /// reference interest exists so accuracy can be evaluated.
+    pub fn oracle(
+        mut self,
+        oracle: Box<dyn RelevanceOracle>,
+        ground_truth: Option<TargetQuery>,
+    ) -> Self {
+        self.oracle = Some(OracleChoice::Custom(oracle, ground_truth));
+        self
+    }
+
+    /// Builds the session.
+    ///
+    /// Fails if no attributes were chosen, an attribute is missing or
+    /// non-numeric, or no oracle/target was configured.
+    pub fn build(self) -> Result<ExplorationSession, DataError> {
+        if self.attrs.is_empty() {
+            return Err(DataError::UnknownField(
+                "(no exploration attributes chosen)".into(),
+            ));
+        }
+        let attrs: Vec<&str> = self.attrs.iter().map(|s| s.as_str()).collect();
+        let eval_view: Arc<NumericView> = Arc::new(self.table.numeric_view(&attrs)?);
+        let mut rng = Xoshiro256pp::seed_from_u64(self.seed);
+        let sample_view = match self.sample_fraction {
+            None => Arc::clone(&eval_view),
+            Some(fraction) => {
+                // The replica must share the full view's normalization.
+                let domains = attrs
+                    .iter()
+                    .map(|a| self.table.domain(a))
+                    .collect::<Result<Vec<_>, _>>()?;
+                let replica = self.table.sample_fraction(fraction, &mut rng);
+                Arc::new(replica.numeric_view_with_domains(&attrs, domains)?)
+            }
+        };
+        let engine = ExtractionEngine::from_arc(sample_view, self.index);
+        let (oracle, truth): (Box<dyn RelevanceOracle>, Option<TargetQuery>) = match self.oracle {
+            None => {
+                return Err(DataError::UnknownField(
+                    "(no oracle or target configured — call simulated_target/target/oracle)".into(),
+                ))
+            }
+            Some(OracleChoice::Generated { areas, size }) => {
+                let target =
+                    TargetQuery::generate(&eval_view, areas, size, eval_view.dims(), &mut rng);
+                crate::oracle::simulated(target)
+            }
+            Some(OracleChoice::Target(target)) => crate::oracle::simulated(target),
+            Some(OracleChoice::Custom(oracle, truth)) => (oracle, truth),
+        };
+        Ok(ExplorationSession::with_oracle(
+            self.config,
+            engine,
+            eval_view,
+            oracle,
+            truth,
+            rng,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::StopCondition;
+    use crate::oracle::CallbackOracle;
+    use aide_data::sdss_like;
+
+    fn table() -> Table {
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
+        sdss_like(20_000).generate(&mut rng)
+    }
+
+    #[test]
+    fn builder_runs_a_full_simulated_session() {
+        let table = table();
+        let mut session = Explorer::over(&table)
+            .attributes(&["rowc", "colc"])
+            .seed(11)
+            .simulated_target(1, SizeClass::Large)
+            .build()
+            .unwrap();
+        let result = session.run(StopCondition {
+            target_f: Some(0.7),
+            max_labels: Some(800),
+            max_iterations: 80,
+        });
+        assert!(result.final_f >= 0.7, "F = {}", result.final_f);
+    }
+
+    #[test]
+    fn builder_supports_sampled_replicas() {
+        let table = table();
+        let session = Explorer::over(&table)
+            .attributes(&["rowc", "colc"])
+            .sampled_fraction(0.1)
+            .seed(12)
+            .simulated_target(1, SizeClass::Large)
+            .build()
+            .unwrap();
+        // Evaluation view is the full table even when extraction is
+        // sampled; the session simply exists and is runnable.
+        assert_eq!(session.labeled().len(), 0);
+    }
+
+    #[test]
+    fn builder_supports_custom_oracles_without_truth() {
+        let table = table();
+        let oracle = CallbackOracle::new(|s: &aide_index::Sample| s.point[0] < 30.0);
+        let mut session = Explorer::over(&table)
+            .attributes(&["rowc", "colc"])
+            .seed(13)
+            .oracle(Box::new(oracle), None)
+            .build()
+            .unwrap();
+        for _ in 0..5 {
+            let r = session.run_iteration().clone();
+            // Without ground truth the accuracy fields stay zero.
+            assert_eq!(r.f_measure, 0.0);
+        }
+        assert!(!session.labeled().is_empty());
+        assert!(session.ground_truth().is_none());
+        // The model still learns the rule: the predicted query mentions
+        // only the first attribute once enough labels accumulate.
+        for _ in 0..10 {
+            session.run_iteration();
+        }
+        let regions = session.relevant_regions();
+        assert!(!regions.is_empty(), "no regions learned from the rule");
+    }
+
+    #[test]
+    fn builder_rejects_bad_setups() {
+        let table = table();
+        assert!(
+            Explorer::over(&table)
+                .simulated_target(1, SizeClass::Large)
+                .build()
+                .is_err(),
+            "missing attributes"
+        );
+        assert!(
+            Explorer::over(&table)
+                .attributes(&["rowc", "colc"])
+                .build()
+                .is_err(),
+            "missing oracle"
+        );
+        assert!(
+            Explorer::over(&table)
+                .attributes(&["nope"])
+                .simulated_target(1, SizeClass::Large)
+                .build()
+                .is_err(),
+            "unknown attribute"
+        );
+    }
+}

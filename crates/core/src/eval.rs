@@ -1,0 +1,75 @@
+//! Accuracy evaluation.
+//!
+//! The paper measures effectiveness as the F-measure of the final decision
+//! tree over the *total data space* T (§2.3, Eq. 1): every tuple of the
+//! database is classified by the model and compared against the target
+//! query's ground truth.
+
+use aide_data::NumericView;
+use aide_ml::{ConfusionMatrix, DecisionTree};
+
+use crate::target::TargetQuery;
+
+/// Classifies every point of `view` with `model` (no model = everything
+/// irrelevant) against the `target` ground truth.
+pub fn evaluate_model(
+    model: Option<&DecisionTree>,
+    view: &NumericView,
+    target: &TargetQuery,
+) -> ConfusionMatrix {
+    let mut m = ConfusionMatrix::default();
+    match model {
+        None => {
+            for (_, p) in view.iter() {
+                m.record(false, target.contains(p));
+            }
+        }
+        Some(tree) => {
+            for (_, p) in view.iter() {
+                m.record(tree.predict(p), target.contains(p));
+            }
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aide_data::view::{Domain, SpaceMapper};
+    use aide_ml::TreeParams;
+    use aide_util::geom::Rect;
+    use aide_util::rng::{Rng, Xoshiro256pp};
+
+    fn view(n: usize, seed: u64) -> NumericView {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let mapper = SpaceMapper::new(
+            vec!["x".into(), "y".into()],
+            vec![Domain::new(0.0, 100.0); 2],
+        );
+        let data: Vec<f64> = (0..n * 2).map(|_| rng.uniform(0.0, 100.0)).collect();
+        NumericView::new(mapper, data, (0..n as u32).collect())
+    }
+
+    #[test]
+    fn no_model_scores_zero_recall() {
+        let v = view(1_000, 1);
+        let target = TargetQuery::new(vec![Rect::new(vec![10.0, 10.0], vec![20.0, 20.0])]);
+        let m = evaluate_model(None, &v, &target);
+        assert_eq!(m.tp, 0);
+        assert_eq!(m.f_measure(), 0.0);
+        assert_eq!(m.total(), 1_000);
+    }
+
+    #[test]
+    fn perfect_model_scores_one() {
+        let v = view(2_000, 2);
+        let target = TargetQuery::new(vec![Rect::new(vec![30.0, 30.0], vec![60.0, 60.0])]);
+        // Train on the ground truth itself.
+        let labels: Vec<bool> = (0..v.len()).map(|i| target.contains(v.point(i))).collect();
+        let data: Vec<f64> = (0..v.len()).flat_map(|i| v.point(i).to_vec()).collect();
+        let tree = DecisionTree::fit(2, &data, &labels, &TreeParams::default());
+        let m = evaluate_model(Some(&tree), &v, &target);
+        assert!(m.f_measure() > 0.999, "F = {}", m.f_measure());
+    }
+}

@@ -1,0 +1,322 @@
+//! Non-linear user interests (paper §8, future work).
+//!
+//! AIDE's model is a decision tree, so its predicted queries are unions of
+//! hyper-rectangles — *linear* patterns. The paper's conclusions name
+//! non-linear predicates as future work. This module provides the ground
+//! truth for studying that gap: ellipsoidal interest regions (the
+//! canonical non-linear range, e.g. "sky objects within angular distance
+//! r of (ra₀, dec₀)"), an oracle that labels by ellipsoid membership, and
+//! an evaluator measuring how well a rectangle-based model approximates
+//! the curved truth.
+//!
+//! The `ext-nonlinear` experiment of the `repro` binary quantifies the
+//! approximation ceiling: a tree can tile an ellipse arbitrarily well,
+//! but each refinement costs boundary samples, so accuracy per label is
+//! systematically below the axis-aligned case.
+
+use aide_data::NumericView;
+use aide_index::Sample;
+use aide_ml::{ConfusionMatrix, DecisionTree};
+use aide_util::rng::Rng;
+
+use crate::oracle::RelevanceOracle;
+
+/// An axis-aligned ellipsoid `Σ ((x_d − c_d) / r_d)² ≤ 1`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ellipsoid {
+    center: Vec<f64>,
+    radii: Vec<f64>,
+}
+
+impl Ellipsoid {
+    /// Creates an ellipsoid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensionalities differ, no dimensions are given, or any
+    /// radius is not strictly positive and finite.
+    pub fn new(center: Vec<f64>, radii: Vec<f64>) -> Self {
+        assert_eq!(center.len(), radii.len(), "center/radii length mismatch");
+        assert!(!center.is_empty(), "at least one dimension");
+        assert!(
+            radii.iter().all(|&r| r.is_finite() && r > 0.0),
+            "radii must be positive and finite"
+        );
+        Self { center, radii }
+    }
+
+    /// Number of dimensions.
+    pub fn dims(&self) -> usize {
+        self.center.len()
+    }
+
+    /// The center point.
+    pub fn center(&self) -> &[f64] {
+        &self.center
+    }
+
+    /// The per-dimension radii.
+    pub fn radii(&self) -> &[f64] {
+        &self.radii
+    }
+
+    /// Membership test (closed boundary).
+    #[inline]
+    pub fn contains(&self, point: &[f64]) -> bool {
+        debug_assert_eq!(point.len(), self.dims());
+        let mut sum = 0.0;
+        for ((&x, &c), &r) in point.iter().zip(&self.center).zip(&self.radii) {
+            let t = (x - c) / r;
+            sum += t * t;
+        }
+        sum <= 1.0
+    }
+}
+
+/// A non-linear user interest: the union of ellipsoidal regions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NonLinearInterest {
+    regions: Vec<Ellipsoid>,
+    dims: usize,
+}
+
+impl NonLinearInterest {
+    /// Creates an interest from explicit ellipsoids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `regions` is empty or dimensionalities disagree.
+    pub fn new(regions: Vec<Ellipsoid>) -> Self {
+        assert!(!regions.is_empty(), "an interest needs at least one region");
+        let dims = regions[0].dims();
+        assert!(
+            regions.iter().all(|e| e.dims() == dims),
+            "mixed dimensionalities"
+        );
+        Self { regions, dims }
+    }
+
+    /// Generates `num` disjoint ellipsoids with per-dimension radii drawn
+    /// from `[r_lo, r_hi]` (normalized units), anchored on data points of
+    /// `view` so every region is non-empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the view is empty or placement keeps failing.
+    pub fn generate<R: Rng + ?Sized>(
+        view: &NumericView,
+        num: usize,
+        r_lo: f64,
+        r_hi: f64,
+        rng: &mut R,
+    ) -> Self {
+        assert!(num > 0, "at least one region");
+        assert!(!view.is_empty(), "cannot anchor regions in an empty view");
+        assert!(r_lo > 0.0 && r_hi >= r_lo, "invalid radius range");
+        let dims = view.dims();
+        let mut regions: Vec<Ellipsoid> = Vec::with_capacity(num);
+        let mut attempts = 0usize;
+        while regions.len() < num {
+            attempts += 1;
+            assert!(attempts < 10_000, "could not place {num} disjoint regions");
+            let center = view.point(rng.index(view.len())).to_vec();
+            let radii: Vec<f64> = (0..dims).map(|_| rng.uniform(r_lo, r_hi)).collect();
+            let candidate = Ellipsoid::new(center, radii);
+            // Disjointness via a conservative bounding-box test with a
+            // one-unit margin.
+            let disjoint = regions.iter().all(|e| {
+                (0..dims).any(|d| {
+                    (e.center[d] - candidate.center[d]).abs()
+                        > e.radii[d] + candidate.radii[d] + 1.0
+                })
+            });
+            if disjoint {
+                regions.push(candidate);
+            }
+        }
+        Self { regions, dims }
+    }
+
+    /// Number of dimensions.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// The ellipsoidal regions.
+    pub fn regions(&self) -> &[Ellipsoid] {
+        &self.regions
+    }
+
+    /// Ground-truth relevance of a point.
+    #[inline]
+    pub fn contains(&self, point: &[f64]) -> bool {
+        self.regions.iter().any(|e| e.contains(point))
+    }
+
+    /// Number of relevant tuples in a view.
+    pub fn count_relevant(&self, view: &NumericView) -> usize {
+        view.iter().filter(|(_, p)| self.contains(p)).count()
+    }
+}
+
+/// An oracle that labels by non-linear interest membership.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NonLinearOracle {
+    interest: NonLinearInterest,
+    reviewed: usize,
+}
+
+impl NonLinearOracle {
+    /// Creates an oracle for `interest`.
+    pub fn new(interest: NonLinearInterest) -> Self {
+        Self {
+            interest,
+            reviewed: 0,
+        }
+    }
+
+    /// The underlying interest.
+    pub fn interest(&self) -> &NonLinearInterest {
+        &self.interest
+    }
+}
+
+impl RelevanceOracle for NonLinearOracle {
+    fn label(&mut self, sample: &Sample) -> bool {
+        self.reviewed += 1;
+        self.interest.contains(&sample.point)
+    }
+
+    fn reviewed(&self) -> usize {
+        self.reviewed
+    }
+}
+
+/// Evaluates a (rectangle-based) model against a non-linear ground truth
+/// over a view — the approximation-quality metric of the `ext-nonlinear`
+/// experiment.
+pub fn evaluate_nonlinear(
+    model: Option<&DecisionTree>,
+    view: &NumericView,
+    interest: &NonLinearInterest,
+) -> ConfusionMatrix {
+    let mut m = ConfusionMatrix::default();
+    match model {
+        None => {
+            for (_, p) in view.iter() {
+                m.record(false, interest.contains(p));
+            }
+        }
+        Some(tree) => {
+            for (_, p) in view.iter() {
+                m.record(tree.predict(p), interest.contains(p));
+            }
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aide_data::view::{Domain, SpaceMapper};
+    use aide_ml::TreeParams;
+    use aide_util::rng::Xoshiro256pp;
+
+    fn uniform_view(n: usize, seed: u64) -> NumericView {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let mapper = SpaceMapper::new(
+            vec!["x".into(), "y".into()],
+            vec![Domain::new(0.0, 100.0); 2],
+        );
+        let data: Vec<f64> = (0..n * 2).map(|_| rng.uniform(0.0, 100.0)).collect();
+        NumericView::new(mapper, data, (0..n as u32).collect())
+    }
+
+    #[test]
+    fn ellipsoid_membership_is_the_quadratic_form() {
+        let e = Ellipsoid::new(vec![50.0, 50.0], vec![10.0, 5.0]);
+        assert!(e.contains(&[50.0, 50.0]));
+        assert!(e.contains(&[60.0, 50.0])); // on the boundary
+        assert!(e.contains(&[50.0, 55.0])); // on the boundary
+        assert!(!e.contains(&[60.0, 55.0])); // corner of the bbox is out
+        assert!(!e.contains(&[61.0, 50.0]));
+        // An ellipse is NOT its bounding box: the corner-region points
+        // inside the bbox but outside the ellipse distinguish them.
+        let corner = [50.0 + 10.0 * 0.9, 50.0 + 5.0 * 0.9];
+        assert!(!e.contains(&corner));
+    }
+
+    #[test]
+    #[should_panic(expected = "radii must be positive")]
+    fn zero_radius_panics() {
+        Ellipsoid::new(vec![0.0], vec![0.0]);
+    }
+
+    #[test]
+    fn generated_interests_are_disjoint_and_nonempty() {
+        let view = uniform_view(20_000, 1);
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
+        let interest = NonLinearInterest::generate(&view, 3, 4.0, 8.0, &mut rng);
+        assert_eq!(interest.regions().len(), 3);
+        assert!(interest.count_relevant(&view) > 0);
+        for (i, a) in interest.regions().iter().enumerate() {
+            for b in &interest.regions()[i + 1..] {
+                // Bounding boxes must be separated in some dimension.
+                let separated = (0..2)
+                    .any(|d| (a.center()[d] - b.center()[d]).abs() > a.radii()[d] + b.radii()[d]);
+                assert!(separated, "regions overlap");
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_labels_by_membership() {
+        let interest =
+            NonLinearInterest::new(vec![Ellipsoid::new(vec![10.0, 10.0], vec![5.0, 5.0])]);
+        let mut oracle = NonLinearOracle::new(interest);
+        let s = |p: &[f64]| Sample {
+            view_index: 0,
+            row_id: 0,
+            point: p.to_vec(),
+        };
+        assert!(oracle.label(&s(&[10.0, 10.0])));
+        assert!(!oracle.label(&s(&[20.0, 20.0])));
+        assert_eq!(oracle.reviewed(), 2);
+    }
+
+    #[test]
+    fn a_tree_approximates_but_cannot_match_an_ellipse_exactly() {
+        let view = uniform_view(20_000, 3);
+        let interest =
+            NonLinearInterest::new(vec![Ellipsoid::new(vec![50.0, 50.0], vec![15.0, 15.0])]);
+        // Train on a dense labeled grid inside the bounding box — the
+        // best case for the tree.
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        for gx in 0..60 {
+            for gy in 0..60 {
+                let p = [30.0 + gx as f64 * 0.67, 30.0 + gy as f64 * 0.67];
+                data.extend_from_slice(&p);
+                labels.push(interest.contains(&p));
+            }
+        }
+        let tree = aide_ml::DecisionTree::fit(
+            2,
+            &data,
+            &labels,
+            &TreeParams {
+                max_depth: 8,
+                ..TreeParams::default()
+            },
+        );
+        let m = evaluate_nonlinear(Some(&tree), &view, &interest);
+        // A shallow tree approximates the circle well but not perfectly:
+        // strictly between rough and exact.
+        assert!(m.f_measure() > 0.8, "F = {}", m.f_measure());
+        assert!(m.f_measure() < 0.999, "F = {}", m.f_measure());
+        // No model = zero recall baseline.
+        let none = evaluate_nonlinear(None, &view, &interest);
+        assert_eq!(none.f_measure(), 0.0);
+    }
+}

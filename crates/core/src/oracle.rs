@@ -1,0 +1,179 @@
+//! Relevance oracles: who answers "is this object interesting?".
+//!
+//! The paper evaluates with a simulated user labeling by target-query
+//! membership (§6.1), but the framework itself is oracle-agnostic — in a
+//! deployment the oracle is a human looking at the extracted tuple. This
+//! module abstracts over both so [`ExplorationSession`](crate::session::ExplorationSession)
+//! can drive either.
+
+use aide_index::Sample;
+use aide_util::rng::{Rng, Xoshiro256pp};
+
+use crate::target::{SimulatedUser, TargetQuery};
+
+/// A source of relevance labels.
+pub trait RelevanceOracle {
+    /// Reviews one extracted object and returns whether it is relevant.
+    fn label(&mut self, sample: &Sample) -> bool;
+
+    /// Total objects reviewed so far (the paper's user-effort metric).
+    fn reviewed(&self) -> usize;
+}
+
+impl RelevanceOracle for SimulatedUser {
+    fn label(&mut self, sample: &Sample) -> bool {
+        SimulatedUser::label(self, &sample.point)
+    }
+
+    fn reviewed(&self) -> usize {
+        SimulatedUser::reviewed(self)
+    }
+}
+
+/// An oracle backed by an arbitrary labeling function — a UI prompt, a
+/// rule, a crowd worker, or (as in [`crate::nonlinear`]) a non-linear
+/// ground-truth predicate the paper's linear model can only approximate.
+pub struct CallbackOracle<F: FnMut(&Sample) -> bool> {
+    callback: F,
+    reviewed: usize,
+}
+
+impl<F: FnMut(&Sample) -> bool> CallbackOracle<F> {
+    /// Wraps a labeling function.
+    pub fn new(callback: F) -> Self {
+        Self {
+            callback,
+            reviewed: 0,
+        }
+    }
+}
+
+impl<F: FnMut(&Sample) -> bool> RelevanceOracle for CallbackOracle<F> {
+    fn label(&mut self, sample: &Sample) -> bool {
+        self.reviewed += 1;
+        (self.callback)(sample)
+    }
+
+    fn reviewed(&self) -> usize {
+        self.reviewed
+    }
+}
+
+/// Wraps any oracle with label noise: each answer is flipped with
+/// probability `flip_rate`. The paper assumes a "binary, non noisy
+/// relevance system" (§2.1); this wrapper is the substrate for the
+/// `ext-noise` robustness study — how gracefully does steering degrade
+/// when the user errs?
+pub struct NoisyOracle<O: RelevanceOracle> {
+    inner: O,
+    flip_rate: f64,
+    rng: Xoshiro256pp,
+    flipped: usize,
+}
+
+impl<O: RelevanceOracle> NoisyOracle<O> {
+    /// Wraps `inner`, flipping each label with probability `flip_rate`
+    /// (clamped to `[0, 1]`).
+    pub fn new(inner: O, flip_rate: f64, seed: u64) -> Self {
+        Self {
+            inner,
+            flip_rate: flip_rate.clamp(0.0, 1.0),
+            rng: Xoshiro256pp::seed_from_u64(seed),
+            flipped: 0,
+        }
+    }
+
+    /// How many labels were flipped so far.
+    pub fn flipped(&self) -> usize {
+        self.flipped
+    }
+}
+
+impl<O: RelevanceOracle> RelevanceOracle for NoisyOracle<O> {
+    fn label(&mut self, sample: &Sample) -> bool {
+        let truth = self.inner.label(sample);
+        if self.rng.chance(self.flip_rate) {
+            self.flipped += 1;
+            !truth
+        } else {
+            truth
+        }
+    }
+
+    fn reviewed(&self) -> usize {
+        self.inner.reviewed()
+    }
+}
+
+/// Builds the paper's standard setup: a simulated user plus the matching
+/// ground truth for accuracy evaluation.
+pub fn simulated(target: TargetQuery) -> (Box<dyn RelevanceOracle>, Option<TargetQuery>) {
+    let truth = target.clone();
+    (Box::new(SimulatedUser::new(target)), Some(truth))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aide_util::geom::Rect;
+
+    fn sample(point: &[f64]) -> Sample {
+        Sample {
+            view_index: 0,
+            row_id: 0,
+            point: point.to_vec(),
+        }
+    }
+
+    #[test]
+    fn simulated_user_oracle_counts_reviews() {
+        let target = TargetQuery::new(vec![Rect::new(vec![0.0], vec![10.0])]);
+        let mut oracle: Box<dyn RelevanceOracle> = Box::new(SimulatedUser::new(target));
+        assert!(oracle.label(&sample(&[5.0])));
+        assert!(!oracle.label(&sample(&[50.0])));
+        assert_eq!(oracle.reviewed(), 2);
+    }
+
+    #[test]
+    fn callback_oracle_delegates_and_counts() {
+        let mut oracle = CallbackOracle::new(|s: &Sample| s.point[0] > 1.0);
+        assert!(!oracle.label(&sample(&[0.5])));
+        assert!(oracle.label(&sample(&[2.0])));
+        assert_eq!(oracle.reviewed(), 2);
+    }
+
+    #[test]
+    fn noisy_oracle_flips_at_roughly_the_requested_rate() {
+        let target = TargetQuery::new(vec![Rect::new(vec![0.0], vec![50.0])]);
+        let mut oracle = NoisyOracle::new(SimulatedUser::new(target.clone()), 0.2, 1);
+        let mut wrong = 0usize;
+        let n = 5_000;
+        for i in 0..n {
+            let p = [(i % 100) as f64];
+            let truth = target.contains(&p);
+            if oracle.label(&sample(&p)) != truth {
+                wrong += 1;
+            }
+        }
+        assert_eq!(oracle.reviewed(), n);
+        assert_eq!(oracle.flipped(), wrong);
+        let rate = wrong as f64 / n as f64;
+        assert!((rate - 0.2).abs() < 0.03, "flip rate {rate}");
+        // Zero noise never flips.
+        let mut clean = NoisyOracle::new(SimulatedUser::new(target.clone()), 0.0, 2);
+        for i in 0..100 {
+            let p = [i as f64];
+            assert_eq!(clean.label(&sample(&p)), target.contains(&p));
+        }
+        assert_eq!(clean.flipped(), 0);
+    }
+
+    #[test]
+    fn simulated_helper_pairs_oracle_with_truth() {
+        let target = TargetQuery::new(vec![Rect::new(vec![0.0], vec![1.0])]);
+        let (mut oracle, truth) = simulated(target.clone());
+        assert_eq!(truth, Some(target));
+        oracle.label(&sample(&[0.5]));
+        assert_eq!(oracle.reviewed(), 1);
+    }
+}

@@ -1,0 +1,177 @@
+//! Terminal visualization of 2-D exploration state.
+//!
+//! Steering is easiest to trust when you can *see* it: [`render_2d`]
+//! draws the normalized exploration space as a character grid showing the
+//! data density, the ground-truth areas (when known) and the model's
+//! current predicted regions. The `quickstart` example and the `aide
+//! explore` CLI print it after a session.
+//!
+//! Legend:
+//!
+//! * `█` — predicted region overlapping a true area (the goal state)
+//! * `#` — true area the model has not captured (missed)
+//! * `o` — predicted region outside any true area (overshoot)
+//! * `:` / `·` / ` ` — data density (dense / sparse / empty)
+
+use aide_data::NumericView;
+use aide_util::geom::Rect;
+
+use crate::target::TargetQuery;
+
+/// Renders the space as `width × height` characters (row 0 = the top of
+/// the plot = high values of dimension 1).
+///
+/// # Panics
+///
+/// Panics if the view is not 2-D or either dimension of the canvas is
+/// zero.
+pub fn render_2d(
+    view: &NumericView,
+    truth: Option<&TargetQuery>,
+    regions: &[Rect],
+    width: usize,
+    height: usize,
+) -> String {
+    assert_eq!(view.dims(), 2, "render_2d draws 2-D spaces");
+    assert!(width > 0 && height > 0, "empty canvas");
+    // Per-cell point counts.
+    let mut counts = vec![0u32; width * height];
+    for (_, p) in view.iter() {
+        let cx = ((p[0] / 100.0 * width as f64) as usize).min(width - 1);
+        let cy = ((p[1] / 100.0 * height as f64) as usize).min(height - 1);
+        counts[cy * width + cx] += 1;
+    }
+    let max_count = counts.iter().copied().max().unwrap_or(0).max(1);
+
+    let mut out = String::with_capacity((width + 3) * (height + 2));
+    out.push('+');
+    out.push_str(&"-".repeat(width));
+    out.push_str("+\n");
+    // A region narrower than a character cell must still show up, so
+    // cells are tested by overlap (with positive area) rather than by
+    // their center point — center sampling aliases away thin bands.
+    let overlaps = |r: &Rect, cell: &Rect| {
+        r.intersection(cell)
+            .map(|i| i.width(0) > 0.0 && i.width(1) > 0.0)
+            .unwrap_or(false)
+    };
+    for row in (0..height).rev() {
+        out.push('|');
+        for col in 0..width {
+            let cell = Rect::new(
+                vec![
+                    col as f64 * 100.0 / width as f64,
+                    row as f64 * 100.0 / height as f64,
+                ],
+                vec![
+                    (col + 1) as f64 * 100.0 / width as f64,
+                    (row + 1) as f64 * 100.0 / height as f64,
+                ],
+            );
+            let in_truth = truth
+                .map(|t| t.areas().iter().any(|a| overlaps(a, &cell)))
+                .unwrap_or(false);
+            let in_pred = regions.iter().any(|r| overlaps(r, &cell));
+            let c = match (in_truth, in_pred) {
+                (true, true) => '█',
+                (true, false) => '#',
+                (false, true) => 'o',
+                (false, false) => {
+                    let density = counts[row * width + col] as f64 / max_count as f64;
+                    if density == 0.0 {
+                        ' '
+                    } else if density < 0.34 {
+                        '·'
+                    } else {
+                        ':'
+                    }
+                }
+            };
+            out.push(c);
+        }
+        out.push_str("|\n");
+    }
+    out.push('+');
+    out.push_str(&"-".repeat(width));
+    out.push_str("+\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aide_data::view::{Domain, SpaceMapper};
+    use aide_util::rng::{Rng, Xoshiro256pp};
+
+    fn view(n: usize, seed: u64) -> NumericView {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let mapper = SpaceMapper::new(
+            vec!["x".into(), "y".into()],
+            vec![Domain::new(0.0, 100.0); 2],
+        );
+        let data: Vec<f64> = (0..n * 2).map(|_| rng.uniform(0.0, 100.0)).collect();
+        NumericView::new(mapper, data, (0..n as u32).collect())
+    }
+
+    #[test]
+    fn canvas_has_the_requested_shape() {
+        let v = view(1_000, 1);
+        let s = render_2d(&v, None, &[], 40, 10);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 12, "border rows + content rows");
+        for line in &lines {
+            assert_eq!(line.chars().count(), 42, "border cols + content cols");
+        }
+    }
+
+    #[test]
+    fn truth_and_predictions_use_the_legend() {
+        let v = view(5_000, 2);
+        let truth = TargetQuery::new(vec![Rect::new(vec![0.0, 0.0], vec![50.0, 100.0])]);
+        // Prediction covers the right half: overlap in no cells, overshoot
+        // on the right, miss on the left.
+        let pred = vec![Rect::new(vec![50.0, 0.0], vec![100.0, 100.0])];
+        let s = render_2d(&v, Some(&truth), &pred, 20, 6);
+        assert!(s.contains('#'), "missed truth must appear");
+        assert!(s.contains('o'), "overshoot must appear");
+        assert!(!s.contains('█'), "no overlap in this layout");
+        // Full overlap flips everything to the goal glyph.
+        let s = render_2d(&v, Some(&truth), &[truth.areas()[0].clone()], 20, 6);
+        assert!(s.contains('█'));
+        assert!(!s.contains('#'));
+    }
+
+    #[test]
+    fn density_shading_reflects_point_mass() {
+        // All the mass in one corner: that corner is ':' and empty cells
+        // are spaces.
+        let mapper = SpaceMapper::new(
+            vec!["x".into(), "y".into()],
+            vec![Domain::new(0.0, 100.0); 2],
+        );
+        let mut data = Vec::new();
+        for _ in 0..100 {
+            data.push(5.0);
+            data.push(5.0);
+        }
+        let v = NumericView::new(mapper, data, (0..100).collect());
+        let s = render_2d(&v, None, &[], 10, 10);
+        let lines: Vec<&str> = s.lines().collect();
+        // Row 0 of the plot is the TOP; the mass at y=5 is near the
+        // bottom (second-to-last line).
+        let bottom = lines[lines.len() - 2];
+        assert!(bottom.contains(':'), "dense corner missing: {bottom}");
+        assert!(
+            lines[1].trim_matches(['|', ' ']).is_empty(),
+            "top should be empty"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "2-D")]
+    fn non_2d_views_are_rejected() {
+        let mapper = SpaceMapper::new(vec!["x".into()], vec![Domain::new(0.0, 100.0)]);
+        let v = NumericView::new(mapper, vec![1.0], vec![0]);
+        render_2d(&v, None, &[], 10, 10);
+    }
+}

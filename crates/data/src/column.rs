@@ -1,0 +1,192 @@
+//! Columnar storage.
+//!
+//! Tables are stored column-major: exploration workloads project a handful
+//! of numeric attributes out of a wide table, and sample-extraction queries
+//! evaluate range predicates attribute by attribute, so contiguous per-column
+//! buffers are the natural layout (and mirror the covering index the paper
+//! keeps over the exploration attributes).
+
+use crate::error::{DataError, Result};
+use crate::value::{DataType, Value};
+
+/// A single typed column.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Column {
+    /// 64-bit float column.
+    Float(Vec<f64>),
+    /// 64-bit integer column.
+    Int(Vec<i64>),
+    /// UTF-8 text column.
+    Text(Vec<String>),
+}
+
+impl Column {
+    /// Creates an empty column of the given type.
+    pub fn new(dtype: DataType) -> Self {
+        match dtype {
+            DataType::Float => Column::Float(Vec::new()),
+            DataType::Int => Column::Int(Vec::new()),
+            DataType::Text => Column::Text(Vec::new()),
+        }
+    }
+
+    /// Creates an empty column with reserved capacity.
+    pub fn with_capacity(dtype: DataType, cap: usize) -> Self {
+        match dtype {
+            DataType::Float => Column::Float(Vec::with_capacity(cap)),
+            DataType::Int => Column::Int(Vec::with_capacity(cap)),
+            DataType::Text => Column::Text(Vec::with_capacity(cap)),
+        }
+    }
+
+    /// The column's type.
+    pub fn dtype(&self) -> DataType {
+        match self {
+            Column::Float(_) => DataType::Float,
+            Column::Int(_) => DataType::Int,
+            Column::Text(_) => DataType::Text,
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Float(v) => v.len(),
+            Column::Int(v) => v.len(),
+            Column::Text(v) => v.len(),
+        }
+    }
+
+    /// Whether the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends a value, enforcing the column type.
+    pub fn push(&mut self, value: Value, field: &str) -> Result<()> {
+        match (self, value) {
+            (Column::Float(v), Value::Float(x)) => v.push(x),
+            // Integers widen losslessly enough for exploration purposes.
+            (Column::Float(v), Value::Int(x)) => v.push(x as f64),
+            (Column::Int(v), Value::Int(x)) => v.push(x),
+            (Column::Text(v), Value::Text(x)) => v.push(x),
+            (col, value) => {
+                return Err(DataError::TypeMismatch {
+                    field: field.to_owned(),
+                    expected: col.dtype(),
+                    actual: value.dtype(),
+                })
+            }
+        }
+        Ok(())
+    }
+
+    /// The value at `row` (text is cloned).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of bounds.
+    pub fn value(&self, row: usize) -> Value {
+        match self {
+            Column::Float(v) => Value::Float(v[row]),
+            Column::Int(v) => Value::Int(v[row]),
+            Column::Text(v) => Value::Text(v[row].clone()),
+        }
+    }
+
+    /// Numeric view of the value at `row`; `None` for text columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of bounds.
+    #[inline]
+    pub fn f64_at(&self, row: usize) -> Option<f64> {
+        match self {
+            Column::Float(v) => Some(v[row]),
+            Column::Int(v) => Some(v[row] as f64),
+            Column::Text(_) => None,
+        }
+    }
+
+    /// Minimum and maximum of a numeric column.
+    ///
+    /// Returns an error for text or empty columns.
+    pub fn min_max(&self, field: &str) -> Result<(f64, f64)> {
+        if self.is_empty() {
+            return Err(DataError::EmptyColumn(field.to_owned()));
+        }
+        let fold = |it: &mut dyn Iterator<Item = f64>| {
+            it.fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), v| {
+                (lo.min(v), hi.max(v))
+            })
+        };
+        match self {
+            Column::Float(v) => Ok(fold(&mut v.iter().copied())),
+            Column::Int(v) => Ok(fold(&mut v.iter().map(|&x| x as f64))),
+            Column::Text(_) => Err(DataError::NonNumeric(field.to_owned())),
+        }
+    }
+
+    /// Copies the rows at `indices` into a new column (in index order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn gather(&self, indices: &[usize]) -> Column {
+        match self {
+            Column::Float(v) => Column::Float(indices.iter().map(|&i| v[i]).collect()),
+            Column::Int(v) => Column::Int(indices.iter().map(|&i| v[i]).collect()),
+            Column::Text(v) => Column::Text(indices.iter().map(|&i| v[i].clone()).collect()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_enforces_types_and_widens_ints() {
+        let mut c = Column::new(DataType::Float);
+        c.push(Value::Float(1.5), "x").unwrap();
+        c.push(Value::Int(2), "x").unwrap();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.f64_at(1), Some(2.0));
+        let err = c.push(Value::from("oops"), "x").unwrap_err();
+        assert!(matches!(err, DataError::TypeMismatch { .. }));
+        let mut i = Column::new(DataType::Int);
+        assert!(i.push(Value::Float(1.0), "y").is_err());
+    }
+
+    #[test]
+    fn value_round_trip() {
+        let mut c = Column::new(DataType::Text);
+        c.push(Value::from("alpha"), "t").unwrap();
+        assert_eq!(c.value(0), Value::from("alpha"));
+        assert_eq!(c.f64_at(0), None);
+    }
+
+    #[test]
+    fn min_max_numeric_and_errors() {
+        let mut c = Column::new(DataType::Int);
+        for v in [5i64, -3, 9, 0] {
+            c.push(Value::Int(v), "n").unwrap();
+        }
+        assert_eq!(c.min_max("n").unwrap(), (-3.0, 9.0));
+        let empty = Column::new(DataType::Float);
+        assert!(matches!(empty.min_max("e"), Err(DataError::EmptyColumn(_))));
+        let mut t = Column::new(DataType::Text);
+        t.push(Value::from("a"), "t").unwrap();
+        assert!(matches!(t.min_max("t"), Err(DataError::NonNumeric(_))));
+    }
+
+    #[test]
+    fn gather_reorders_and_repeats() {
+        let mut c = Column::new(DataType::Int);
+        for v in [10i64, 20, 30] {
+            c.push(Value::Int(v), "n").unwrap();
+        }
+        let g = c.gather(&[2, 0, 0]);
+        assert_eq!(g, Column::Int(vec![30, 10, 10]));
+    }
+}

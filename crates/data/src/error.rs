@@ -1,0 +1,92 @@
+//! Error type for the data layer.
+
+use std::fmt;
+
+use crate::value::DataType;
+
+/// Errors raised by schema construction, table building and CSV I/O.
+#[derive(Debug)]
+pub enum DataError {
+    /// Two fields in one schema share a name.
+    DuplicateField(String),
+    /// A referenced field does not exist in the schema.
+    UnknownField(String),
+    /// A value's type does not match the column's declared type.
+    TypeMismatch {
+        /// Field the value was destined for.
+        field: String,
+        /// The column's declared type.
+        expected: DataType,
+        /// The type of the offending value.
+        actual: DataType,
+    },
+    /// A row has the wrong number of values.
+    ArityMismatch {
+        /// Number of schema fields.
+        expected: usize,
+        /// Number of values supplied.
+        actual: usize,
+    },
+    /// An exploration attribute is not numeric.
+    NonNumeric(String),
+    /// A column has no rows, so its domain is undefined.
+    EmptyColumn(String),
+    /// Malformed CSV input.
+    Csv {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::DuplicateField(name) => write!(f, "duplicate field `{name}`"),
+            DataError::UnknownField(name) => write!(f, "unknown field `{name}`"),
+            DataError::TypeMismatch {
+                field,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "type mismatch for field `{field}`: expected {expected}, got {actual}"
+            ),
+            DataError::ArityMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "row has {actual} values but the schema has {expected} fields"
+                )
+            }
+            DataError::NonNumeric(name) => {
+                write!(f, "field `{name}` is not numeric and cannot be explored")
+            }
+            DataError::EmptyColumn(name) => {
+                write!(f, "column `{name}` is empty; its domain is undefined")
+            }
+            DataError::Csv { line, message } => write!(f, "CSV error at line {line}: {message}"),
+            DataError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DataError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for DataError {
+    fn from(e: std::io::Error) -> Self {
+        DataError::Io(e)
+    }
+}
+
+/// Convenience alias for results in the data layer.
+pub type Result<T> = std::result::Result<T, DataError>;

@@ -1,0 +1,145 @@
+//! Table schemas.
+
+use std::collections::HashMap;
+
+use crate::error::{DataError, Result};
+use crate::value::DataType;
+
+/// A named, typed column descriptor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    name: String,
+    dtype: DataType,
+}
+
+impl Field {
+    /// Creates a field.
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
+        Self {
+            name: name.into(),
+            dtype,
+        }
+    }
+
+    /// The field name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The field type.
+    pub fn dtype(&self) -> DataType {
+        self.dtype
+    }
+}
+
+/// An ordered collection of uniquely named fields.
+#[derive(Debug, Clone)]
+pub struct Schema {
+    fields: Vec<Field>,
+    by_name: HashMap<String, usize>,
+}
+
+impl Schema {
+    /// Creates a schema, rejecting duplicate field names.
+    pub fn new(fields: Vec<Field>) -> Result<Self> {
+        let mut by_name = HashMap::with_capacity(fields.len());
+        for (i, f) in fields.iter().enumerate() {
+            if by_name.insert(f.name.clone(), i).is_some() {
+                return Err(DataError::DuplicateField(f.name.clone()));
+            }
+        }
+        Ok(Self { fields, by_name })
+    }
+
+    /// Convenience constructor from `(name, type)` pairs.
+    pub fn from_pairs(pairs: &[(&str, DataType)]) -> Result<Self> {
+        Self::new(
+            pairs
+                .iter()
+                .map(|&(n, t)| Field::new(n, t))
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Whether the schema has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// The field at position `i`.
+    pub fn field(&self, i: usize) -> &Field {
+        &self.fields[i]
+    }
+
+    /// All fields in order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Position of the field named `name`.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| DataError::UnknownField(name.to_owned()))
+    }
+
+    /// The field named `name`.
+    pub fn field_by_name(&self, name: &str) -> Result<&Field> {
+        self.index_of(name).map(|i| &self.fields[i])
+    }
+}
+
+impl PartialEq for Schema {
+    fn eq(&self, other: &Self) -> bool {
+        self.fields == other.fields
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_by_name_and_index() {
+        let s = Schema::from_pairs(&[
+            ("age", DataType::Int),
+            ("dosage", DataType::Float),
+            ("note", DataType::Text),
+        ])
+        .unwrap();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.index_of("dosage").unwrap(), 1);
+        assert_eq!(s.field(0).name(), "age");
+        assert_eq!(s.field_by_name("note").unwrap().dtype(), DataType::Text);
+        assert!(matches!(
+            s.index_of("missing"),
+            Err(DataError::UnknownField(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_names_are_rejected() {
+        let err = Schema::from_pairs(&[("a", DataType::Int), ("a", DataType::Float)]);
+        assert!(matches!(err, Err(DataError::DuplicateField(n)) if n == "a"));
+    }
+
+    #[test]
+    fn empty_schema_is_allowed_but_empty() {
+        let s = Schema::new(vec![]).unwrap();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn equality_ignores_lookup_map() {
+        let a = Schema::from_pairs(&[("x", DataType::Float)]).unwrap();
+        let b = Schema::from_pairs(&[("x", DataType::Float)]).unwrap();
+        assert_eq!(a, b);
+    }
+}

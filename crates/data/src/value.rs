@@ -1,0 +1,141 @@
+//! Typed cell values.
+//!
+//! The exploration pipeline itself works on numeric attributes, but the
+//! database substrate stores what real IDE datasets contain: floats, integer
+//! identifiers/counters, and free text (e.g. clinical-trial outcome notes),
+//! so examples and tests can exercise realistic tables.
+
+use std::fmt;
+
+/// The type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit floating point.
+    Float,
+    /// 64-bit signed integer.
+    Int,
+    /// UTF-8 text.
+    Text,
+}
+
+impl DataType {
+    /// Whether values of this type can be explored (cast to `f64`).
+    pub fn is_numeric(self) -> bool {
+        matches!(self, DataType::Float | DataType::Int)
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataType::Float => f.write_str("float"),
+            DataType::Int => f.write_str("int"),
+            DataType::Text => f.write_str("text"),
+        }
+    }
+}
+
+/// A single cell value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// 64-bit floating point.
+    Float(f64),
+    /// 64-bit signed integer.
+    Int(i64),
+    /// UTF-8 text.
+    Text(String),
+}
+
+impl Value {
+    /// The value's type.
+    pub fn dtype(&self) -> DataType {
+        match self {
+            Value::Float(_) => DataType::Float,
+            Value::Int(_) => DataType::Int,
+            Value::Text(_) => DataType::Text,
+        }
+    }
+
+    /// Numeric view of the value (`Int` widens to `f64`), `None` for text.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Float(v) => Some(*v),
+            Value::Int(v) => Some(*v as f64),
+            Value::Text(_) => None,
+        }
+    }
+
+    /// Borrowed text, `None` for numeric values.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Text(s) => f.write_str(s),
+        }
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Text(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Text(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dtype_and_numeric_casts() {
+        assert_eq!(Value::Float(1.5).dtype(), DataType::Float);
+        assert_eq!(Value::Int(3).dtype(), DataType::Int);
+        assert_eq!(Value::from("x").dtype(), DataType::Text);
+        assert_eq!(Value::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Float(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::from("x").as_f64(), None);
+        assert_eq!(Value::from("abc").as_str(), Some("abc"));
+        assert_eq!(Value::Int(1).as_str(), None);
+    }
+
+    #[test]
+    fn numeric_types_are_explorable() {
+        assert!(DataType::Float.is_numeric());
+        assert!(DataType::Int.is_numeric());
+        assert!(!DataType::Text.is_numeric());
+    }
+
+    #[test]
+    fn display_round_trips_simply() {
+        assert_eq!(Value::Int(-7).to_string(), "-7");
+        assert_eq!(Value::Float(1.25).to_string(), "1.25");
+        assert_eq!(Value::from("hello").to_string(), "hello");
+        assert_eq!(DataType::Text.to_string(), "text");
+    }
+}

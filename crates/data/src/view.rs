@@ -1,0 +1,291 @@
+//! Normalized exploration views.
+//!
+//! The paper normalizes every exploration attribute to `[0, 100]` so that
+//! grid widths, sampling distances (γ, x, y) and area-size classes can be
+//! reasoned about uniformly across domains (§3, footnote 2). A
+//! [`NumericView`] is the d-dimensional, normalized projection of a table
+//! onto the chosen exploration attributes; a [`SpaceMapper`] converts
+//! points and rectangles between raw attribute values and normalized
+//! coordinates (needed when translating the learned model back into a SQL
+//! query over the original columns).
+
+use aide_util::geom::Rect;
+
+/// The raw value range of one attribute.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Domain {
+    lo: f64,
+    hi: f64,
+}
+
+impl Domain {
+    /// Creates a domain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bounds are not finite or inverted.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo <= hi,
+            "invalid domain [{lo}, {hi}]"
+        );
+        Self { lo, hi }
+    }
+
+    /// Lower bound.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Raw width.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// Maps a raw value to `[0, 100]`, clamping values outside the domain.
+    ///
+    /// A zero-width domain maps everything to 0 (the attribute is constant
+    /// and carries no exploration signal).
+    #[inline]
+    pub fn normalize(&self, v: f64) -> f64 {
+        if self.width() == 0.0 {
+            return 0.0;
+        }
+        (100.0 * (v - self.lo) / self.width()).clamp(0.0, 100.0)
+    }
+
+    /// Maps a normalized coordinate in `[0, 100]` back to a raw value.
+    #[inline]
+    pub fn denormalize(&self, t: f64) -> f64 {
+        self.lo + self.width() * (t / 100.0)
+    }
+}
+
+/// Bidirectional mapping between raw attribute space and the normalized
+/// `[0, 100]^d` exploration space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpaceMapper {
+    attrs: Vec<String>,
+    domains: Vec<Domain>,
+}
+
+impl SpaceMapper {
+    /// Creates a mapper for `attrs` with the given raw domains.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two vectors differ in length or are empty.
+    pub fn new(attrs: Vec<String>, domains: Vec<Domain>) -> Self {
+        assert_eq!(attrs.len(), domains.len(), "attrs/domains length mismatch");
+        assert!(!attrs.is_empty(), "a mapper needs at least one attribute");
+        Self { attrs, domains }
+    }
+
+    /// Number of dimensions.
+    pub fn dims(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Attribute names in dimension order.
+    pub fn attrs(&self) -> &[String] {
+        &self.attrs
+    }
+
+    /// Raw domains in dimension order.
+    pub fn domains(&self) -> &[Domain] {
+        &self.domains
+    }
+
+    /// Normalizes a raw point.
+    pub fn normalize_point(&self, raw: &[f64]) -> Vec<f64> {
+        assert_eq!(raw.len(), self.dims());
+        raw.iter()
+            .zip(&self.domains)
+            .map(|(&v, d)| d.normalize(v))
+            .collect()
+    }
+
+    /// Denormalizes a normalized point back to raw attribute values.
+    pub fn denormalize_point(&self, norm: &[f64]) -> Vec<f64> {
+        assert_eq!(norm.len(), self.dims());
+        norm.iter()
+            .zip(&self.domains)
+            .map(|(&t, d)| d.denormalize(t))
+            .collect()
+    }
+
+    /// Denormalizes a rectangle from normalized to raw coordinates.
+    pub fn denormalize_rect(&self, rect: &Rect) -> Rect {
+        assert_eq!(rect.dims(), self.dims());
+        Rect::new(
+            self.denormalize_point(rect.lo_slice()),
+            self.denormalize_point(rect.hi_slice()),
+        )
+    }
+
+    /// Normalizes a rectangle from raw to normalized coordinates.
+    pub fn normalize_rect(&self, rect: &Rect) -> Rect {
+        assert_eq!(rect.dims(), self.dims());
+        Rect::new(
+            self.normalize_point(rect.lo_slice()),
+            self.normalize_point(rect.hi_slice()),
+        )
+    }
+}
+
+/// A normalized, d-dimensional projection of a table.
+///
+/// Points are stored row-major in a flat buffer (`dims` floats per point);
+/// `row_ids` maps each point back to its source row in the projected table,
+/// which is how a sampled object is shown to the user with all its original
+/// attributes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NumericView {
+    mapper: SpaceMapper,
+    data: Vec<f64>,
+    row_ids: Vec<u32>,
+}
+
+impl NumericView {
+    /// Creates a view from normalized row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` is not a multiple of the dimensionality or
+    /// disagrees with `row_ids.len()`.
+    pub fn new(mapper: SpaceMapper, data: Vec<f64>, row_ids: Vec<u32>) -> Self {
+        let dims = mapper.dims();
+        assert_eq!(data.len() % dims, 0, "ragged point buffer");
+        assert_eq!(data.len() / dims, row_ids.len(), "row id count mismatch");
+        Self {
+            mapper,
+            data,
+            row_ids,
+        }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.row_ids.len()
+    }
+
+    /// Whether the view has no points.
+    pub fn is_empty(&self) -> bool {
+        self.row_ids.is_empty()
+    }
+
+    /// Number of dimensions.
+    pub fn dims(&self) -> usize {
+        self.mapper.dims()
+    }
+
+    /// The normalized point at index `i`.
+    #[inline]
+    pub fn point(&self, i: usize) -> &[f64] {
+        let d = self.dims();
+        &self.data[i * d..(i + 1) * d]
+    }
+
+    /// The source-table row of point `i`.
+    #[inline]
+    pub fn row_id(&self, i: usize) -> u32 {
+        self.row_ids[i]
+    }
+
+    /// The raw↔normalized mapper for this view.
+    pub fn mapper(&self) -> &SpaceMapper {
+        &self.mapper
+    }
+
+    /// Iterates over `(view_index, point)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &[f64])> {
+        (0..self.len()).map(move |i| (i, self.point(i)))
+    }
+
+    /// Indices of all points inside `rect`.
+    pub fn indices_in(&self, rect: &Rect) -> Vec<usize> {
+        self.iter()
+            .filter(|(_, p)| rect.contains(p))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Counts points inside `rect` without materializing indices.
+    pub fn count_in(&self, rect: &Rect) -> usize {
+        self.iter().filter(|(_, p)| rect.contains(p)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domain_normalization_round_trips() {
+        let d = Domain::new(-50.0, 150.0);
+        assert_eq!(d.normalize(-50.0), 0.0);
+        assert_eq!(d.normalize(150.0), 100.0);
+        assert_eq!(d.normalize(50.0), 50.0);
+        // Clamping.
+        assert_eq!(d.normalize(-100.0), 0.0);
+        assert_eq!(d.normalize(1000.0), 100.0);
+        // Round trip.
+        let raw = 37.25;
+        assert!((d.denormalize(d.normalize(raw)) - raw).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_width_domain_is_constant() {
+        let d = Domain::new(5.0, 5.0);
+        assert_eq!(d.normalize(5.0), 0.0);
+        assert_eq!(d.normalize(99.0), 0.0);
+        assert_eq!(d.denormalize(0.0), 5.0);
+    }
+
+    fn mapper2() -> SpaceMapper {
+        SpaceMapper::new(
+            vec!["age".into(), "dosage".into()],
+            vec![Domain::new(0.0, 40.0), Domain::new(0.0, 15.0)],
+        )
+    }
+
+    #[test]
+    fn mapper_point_and_rect_round_trip() {
+        let m = mapper2();
+        let raw = vec![20.0, 7.5];
+        let norm = m.normalize_point(&raw);
+        assert_eq!(norm, vec![50.0, 50.0]);
+        assert_eq!(m.denormalize_point(&norm), raw);
+
+        let r = Rect::new(vec![25.0, 0.0], vec![50.0, 100.0]);
+        let raw_r = m.denormalize_rect(&r);
+        assert_eq!(raw_r, Rect::new(vec![10.0, 0.0], vec![20.0, 15.0]));
+        assert_eq!(m.normalize_rect(&raw_r), r);
+    }
+
+    #[test]
+    fn view_points_and_rect_queries() {
+        let m = mapper2();
+        // Three normalized points.
+        let data = vec![10.0, 10.0, 50.0, 50.0, 90.0, 90.0];
+        let view = NumericView::new(m, data, vec![0, 1, 2]);
+        assert_eq!(view.len(), 3);
+        assert_eq!(view.dims(), 2);
+        assert_eq!(view.point(1), &[50.0, 50.0]);
+        assert_eq!(view.row_id(2), 2);
+        let rect = Rect::new(vec![0.0, 0.0], vec![60.0, 60.0]);
+        assert_eq!(view.indices_in(&rect), vec![0, 1]);
+        assert_eq!(view.count_in(&rect), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged point buffer")]
+    fn ragged_buffer_panics() {
+        NumericView::new(mapper2(), vec![1.0, 2.0, 3.0], vec![0]);
+    }
+}

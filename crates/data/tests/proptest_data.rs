@@ -1,0 +1,98 @@
+//! Property-based tests for the data layer: CSV round-trips, domain
+//! normalization, and sampling invariants.
+
+use std::io::Cursor;
+
+use aide_data::csv::{read_csv, write_csv};
+use aide_data::view::Domain;
+use aide_data::{DataType, Schema, TableBuilder, Value};
+use aide_util::rng::Xoshiro256pp;
+use proptest::prelude::*;
+
+fn table_strategy() -> impl Strategy<Value = aide_data::Table> {
+    // Text that can never be mistaken for a number by type inference,
+    // while still covering the quoting paths (commas, quotes, spaces).
+    let cell_text = "[xyz ,\"]{0,12}";
+    proptest::collection::vec((any::<i64>(), -1e9f64..1e9, cell_text), 0..60).prop_map(|rows| {
+        let schema = Schema::from_pairs(&[
+            ("id", DataType::Int),
+            ("value", DataType::Float),
+            ("note", DataType::Text),
+        ])
+        .expect("static schema");
+        let mut b = TableBuilder::new("t", schema);
+        for (id, value, note) in rows {
+            b.push_row(vec![Value::Int(id), Value::Float(value), Value::Text(note)])
+                .expect("typed row");
+        }
+        b.finish()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Writing a table to CSV and reading it back preserves every cell.
+    ///
+    /// Caveats that keep the property honest: float cells are rendered
+    /// with `{}` (shortest round-trip representation in Rust), so parsing
+    /// recovers the exact bit pattern; text columns may be inferred as a
+    /// narrower type if every value happens to look numeric, so we only
+    /// compare display forms there.
+    #[test]
+    fn csv_round_trip_preserves_cells(table in table_strategy()) {
+        let mut buf = Vec::new();
+        write_csv(&table, &mut buf).expect("write succeeds");
+        let back = read_csv("t", Cursor::new(&buf)).expect("read succeeds");
+        prop_assert_eq!(back.num_rows(), table.num_rows());
+        prop_assert_eq!(back.num_columns(), table.num_columns());
+        for row in 0..table.num_rows() {
+            prop_assert_eq!(back.value(row, 0), table.value(row, 0));
+            prop_assert_eq!(back.value(row, 1), table.value(row, 1));
+            // Text round-trips as displayed (leading/trailing whitespace
+            // inside unquoted cells is trimmed by type inference).
+            let orig = table.value(row, 2).to_string();
+            let got = back.value(row, 2).to_string();
+            prop_assert_eq!(got, orig.trim().to_string());
+        }
+    }
+
+    /// Normalization maps into [0, 100] and denormalization inverts it.
+    #[test]
+    fn domain_round_trips(lo in -1e9f64..1e9, width in 0.0f64..1e9, t in 0.0f64..100.0) {
+        let d = Domain::new(lo, lo + width);
+        let raw = d.denormalize(t);
+        prop_assert!(raw >= lo - 1e-6 && raw <= lo + width + 1e-6);
+        if width > 1e-6 {
+            let back = d.normalize(raw);
+            prop_assert!((back - t).abs() < 1e-6 * (1.0 + t.abs()), "{back} vs {t}");
+        }
+    }
+
+    /// Simple random sampling returns the requested fraction of distinct
+    /// rows with all values drawn from the original table.
+    #[test]
+    fn sample_fraction_contract(n in 1usize..500, fraction in 0.0f64..1.0, seed in any::<u64>()) {
+        let schema = Schema::from_pairs(&[("x", DataType::Int)]).expect("schema");
+        let mut b = TableBuilder::new("t", schema);
+        for i in 0..n {
+            b.push_row(vec![Value::Int(i as i64)]).expect("row");
+        }
+        let table = b.finish();
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let sampled = table.sample_fraction(fraction, &mut rng);
+        let expected = ((n as f64) * fraction).round() as usize;
+        prop_assert_eq!(sampled.num_rows(), expected);
+        let mut values: Vec<i64> = (0..sampled.num_rows())
+            .map(|r| match sampled.value(r, 0) {
+                Value::Int(v) => v,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        let before = values.len();
+        values.sort_unstable();
+        values.dedup();
+        prop_assert_eq!(values.len(), before, "sampling repeated a row");
+        prop_assert!(values.iter().all(|&v| v >= 0 && (v as usize) < n));
+    }
+}

@@ -1,0 +1,317 @@
+//! The sample-extraction engine.
+//!
+//! [`ExtractionEngine`] is the "database connection" the AIDE framework
+//! holds: every exploration phase turns its sampling areas into engine
+//! calls, and the engine accounts for the costs the paper reports —
+//! number of extraction queries, tuples examined and extraction
+//! wall-clock time.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use aide_data::NumericView;
+use aide_util::geom::Rect;
+use aide_util::rng::Rng;
+
+use crate::{GridIndex, KdTree, RegionIndex, ScanIndex, SortedIndex};
+
+/// Which access path the engine uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexKind {
+    /// Equi-width grid buckets (default; models the covering index).
+    Grid,
+    /// Median-split k-d tree.
+    KdTree,
+    /// Per-attribute sorted lists with residual filtering.
+    Sorted,
+    /// Full scan on every query (models the expensive path of §5.2).
+    Scan,
+}
+
+/// One extracted sample object.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Position in the engine's [`NumericView`].
+    pub view_index: u32,
+    /// Row id in the source table (what the user is shown).
+    pub row_id: u32,
+    /// Normalized coordinates of the object.
+    pub point: Vec<f64>,
+}
+
+/// Cumulative extraction costs since the last reset.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExtractionStats {
+    /// Extraction queries issued (one per sampling area, as in the paper).
+    pub queries: u64,
+    /// Points whose coordinates were tested against query rectangles.
+    pub tuples_examined: u64,
+    /// Points returned by queries (before sub-sampling to `n`).
+    pub tuples_returned: u64,
+    /// Wall-clock time spent inside the engine.
+    pub elapsed: Duration,
+}
+
+/// Region-sampling façade over a [`NumericView`] plus a [`RegionIndex`].
+pub struct ExtractionEngine {
+    view: Arc<NumericView>,
+    index: Box<dyn RegionIndex>,
+    kind: IndexKind,
+    stats: ExtractionStats,
+}
+
+impl std::fmt::Debug for ExtractionEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExtractionEngine")
+            .field("points", &self.view.len())
+            .field("dims", &self.view.dims())
+            .field("index", &self.index.name())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl ExtractionEngine {
+    /// Builds an engine over `view` using the requested access path.
+    pub fn new(view: NumericView, kind: IndexKind) -> Self {
+        Self::from_arc(Arc::new(view), kind)
+    }
+
+    /// Builds an engine over a shared view.
+    pub fn from_arc(view: Arc<NumericView>, kind: IndexKind) -> Self {
+        let index: Box<dyn RegionIndex> = match kind {
+            IndexKind::Grid => Box::new(GridIndex::build(&view)),
+            IndexKind::KdTree => Box::new(KdTree::build(&view)),
+            IndexKind::Sorted => Box::new(SortedIndex::build(&view)),
+            IndexKind::Scan => Box::new(ScanIndex::new()),
+        };
+        Self {
+            view,
+            index,
+            kind,
+            stats: ExtractionStats::default(),
+        }
+    }
+
+    /// The underlying view.
+    pub fn view(&self) -> &NumericView {
+        &self.view
+    }
+
+    /// Shared handle to the underlying view.
+    pub fn view_arc(&self) -> Arc<NumericView> {
+        Arc::clone(&self.view)
+    }
+
+    /// The access-path kind.
+    pub fn kind(&self) -> IndexKind {
+        self.kind
+    }
+
+    /// Cost counters accumulated so far.
+    pub fn stats(&self) -> ExtractionStats {
+        self.stats
+    }
+
+    /// Resets the cost counters (e.g. between exploration iterations).
+    pub fn reset_stats(&mut self) {
+        self.stats = ExtractionStats::default();
+    }
+
+    /// All view indices inside `rect` (one extraction query).
+    pub fn query_in(&mut self, rect: &Rect) -> Vec<u32> {
+        let start = Instant::now();
+        let out = self.index.query(&self.view, rect);
+        self.stats.queries += 1;
+        self.stats.tuples_examined += out.examined as u64;
+        self.stats.tuples_returned += out.indices.len() as u64;
+        self.stats.elapsed += start.elapsed();
+        out.indices
+    }
+
+    /// Number of points inside `rect` (one extraction query).
+    pub fn count_in(&mut self, rect: &Rect) -> usize {
+        self.query_in(rect).len()
+    }
+
+    /// Fraction of all points lying inside `rect` (one extraction query);
+    /// 0 for an empty view. Drives the skew-aware γ adjustment (§3).
+    pub fn density(&mut self, rect: &Rect) -> f64 {
+        if self.view.is_empty() {
+            return 0.0;
+        }
+        self.count_in(rect) as f64 / self.view.len() as f64
+    }
+
+    /// Up to `n` distinct uniformly random samples inside `rect`
+    /// (one extraction query).
+    pub fn sample_in<R: Rng + ?Sized>(
+        &mut self,
+        rect: &Rect,
+        n: usize,
+        rng: &mut R,
+    ) -> Vec<Sample> {
+        self.sample_in_excluding(rect, n, rng, &HashSet::new())
+    }
+
+    /// Like [`ExtractionEngine::sample_in`] but never returns a row the
+    /// user has already labeled (`excluded` holds row ids). Re-showing a
+    /// labeled object would waste user effort without adding training
+    /// signal.
+    pub fn sample_in_excluding<R: Rng + ?Sized>(
+        &mut self,
+        rect: &Rect,
+        n: usize,
+        rng: &mut R,
+        excluded: &HashSet<u32>,
+    ) -> Vec<Sample> {
+        if n == 0 {
+            return Vec::new();
+        }
+        let start = Instant::now();
+        let out = self.index.query(&self.view, rect);
+        self.stats.queries += 1;
+        self.stats.tuples_examined += out.examined as u64;
+        self.stats.tuples_returned += out.indices.len() as u64;
+        let candidates: Vec<u32> = if excluded.is_empty() {
+            out.indices
+        } else {
+            out.indices
+                .into_iter()
+                .filter(|&i| !excluded.contains(&self.view.row_id(i as usize)))
+                .collect()
+        };
+        let chosen: Vec<u32> = if candidates.len() <= n {
+            candidates
+        } else {
+            rng.sample_indices(candidates.len(), n)
+                .into_iter()
+                .map(|i| candidates[i])
+                .collect()
+        };
+        let samples = chosen
+            .into_iter()
+            .map(|i| Sample {
+                view_index: i,
+                row_id: self.view.row_id(i as usize),
+                point: self.view.point(i as usize).to_vec(),
+            })
+            .collect();
+        self.stats.elapsed += start.elapsed();
+        samples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aide_data::view::{Domain, SpaceMapper};
+    use aide_util::rng::Xoshiro256pp;
+
+    fn grid_view(n_per_side: usize) -> NumericView {
+        // Regular lattice so counts are exact.
+        let mapper = SpaceMapper::new(
+            vec!["x".into(), "y".into()],
+            vec![Domain::new(0.0, 100.0); 2],
+        );
+        let mut data = Vec::new();
+        let step = 100.0 / (n_per_side - 1) as f64;
+        for i in 0..n_per_side {
+            for j in 0..n_per_side {
+                data.push(i as f64 * step);
+                data.push(j as f64 * step);
+            }
+        }
+        let n = n_per_side * n_per_side;
+        NumericView::new(mapper, data, (0..n as u32).collect())
+    }
+
+    #[test]
+    fn all_index_kinds_agree() {
+        let view = grid_view(30);
+        let rect = Rect::new(vec![10.0, 10.0], vec![55.0, 40.0]);
+        let mut counts = Vec::new();
+        for kind in [
+            IndexKind::Grid,
+            IndexKind::KdTree,
+            IndexKind::Sorted,
+            IndexKind::Scan,
+        ] {
+            let mut engine = ExtractionEngine::new(view.clone(), kind);
+            counts.push(engine.count_in(&rect));
+        }
+        assert!(
+            counts.windows(2).all(|w| w[0] == w[1]),
+            "paths disagree: {counts:?}"
+        );
+        assert!(counts[0] > 0);
+    }
+
+    #[test]
+    fn sampling_respects_rect_count_and_exclusions() {
+        let view = grid_view(20);
+        let mut engine = ExtractionEngine::new(view, IndexKind::Grid);
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
+        let rect = Rect::new(vec![0.0, 0.0], vec![30.0, 30.0]);
+        let samples = engine.sample_in(&rect, 10, &mut rng);
+        assert_eq!(samples.len(), 10);
+        for s in &samples {
+            assert!(rect.contains(&s.point));
+        }
+        // Distinctness.
+        let mut ids: Vec<u32> = samples.iter().map(|s| s.row_id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 10);
+        // Exclusion removes previously labeled rows.
+        let excluded: HashSet<u32> = samples.iter().map(|s| s.row_id).collect();
+        let more = engine.sample_in_excluding(&rect, 1_000, &mut rng, &excluded);
+        assert!(more.iter().all(|s| !excluded.contains(&s.row_id)));
+    }
+
+    #[test]
+    fn stats_accumulate_and_reset() {
+        let view = grid_view(10);
+        let mut engine = ExtractionEngine::new(view, IndexKind::Scan);
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
+        let rect = Rect::full_domain(2);
+        engine.sample_in(&rect, 5, &mut rng);
+        engine.count_in(&rect);
+        let stats = engine.stats();
+        assert_eq!(stats.queries, 2);
+        assert_eq!(stats.tuples_examined, 200);
+        assert_eq!(stats.tuples_returned, 200);
+        engine.reset_stats();
+        assert_eq!(engine.stats(), ExtractionStats::default());
+    }
+
+    #[test]
+    fn scan_examines_more_than_grid_for_small_rects() {
+        let view = grid_view(50);
+        let rect = Rect::new(vec![10.0, 10.0], vec![14.0, 14.0]);
+        let mut grid = ExtractionEngine::new(view.clone(), IndexKind::Grid);
+        let mut scan = ExtractionEngine::new(view, IndexKind::Scan);
+        grid.count_in(&rect);
+        scan.count_in(&rect);
+        assert!(grid.stats().tuples_examined < scan.stats().tuples_examined);
+    }
+
+    #[test]
+    fn sample_zero_is_free_of_queries() {
+        let view = grid_view(5);
+        let mut engine = ExtractionEngine::new(view, IndexKind::Grid);
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
+        let out = engine.sample_in(&Rect::full_domain(2), 0, &mut rng);
+        assert!(out.is_empty());
+        assert_eq!(engine.stats().queries, 0);
+    }
+
+    #[test]
+    fn density_is_count_over_total() {
+        let view = grid_view(10); // 100 points
+        let mut engine = ExtractionEngine::new(view, IndexKind::Grid);
+        let d = engine.density(&Rect::full_domain(2));
+        assert!((d - 1.0).abs() < 1e-12);
+    }
+}

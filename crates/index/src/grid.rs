@@ -1,0 +1,252 @@
+//! Equi-width multidimensional grid index.
+//!
+//! The normalized exploration space `[0, 100]^d` is bucketed into
+//! `resolution^d` equal-width cells; each cell stores the view indices of
+//! the points it contains. Rectangle queries visit only overlapping cells,
+//! and cells entirely inside the query rectangle contribute their points
+//! without per-point tests — this is the cheap access path that stands in
+//! for the paper's covering index.
+
+use aide_data::NumericView;
+use aide_util::geom::Rect;
+
+use crate::{QueryOutput, RegionIndex};
+
+/// Grid index over a [`NumericView`]'s normalized points.
+#[derive(Debug, Clone)]
+pub struct GridIndex {
+    dims: usize,
+    resolution: usize,
+    cells: Vec<Vec<u32>>,
+}
+
+impl GridIndex {
+    /// Maximum total number of cells; the per-dimension resolution is
+    /// reduced until `resolution^dims` fits. Keeps high-dimensional
+    /// indexes (the paper explores up to 5-D) from exploding.
+    const MAX_CELLS: usize = 1 << 20;
+
+    /// Builds a grid index with a heuristically chosen resolution:
+    /// roughly `n^(1/d)` buckets per dimension, clamped to `[2, 64]` and
+    /// to the total-cell cap.
+    pub fn build(view: &NumericView) -> Self {
+        let dims = view.dims();
+        let n = view.len().max(1) as f64;
+        let target = n.powf(1.0 / dims as f64).ceil() as usize;
+        Self::with_resolution(view, target.clamp(2, 64))
+    }
+
+    /// Builds a grid index with an explicit per-dimension resolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `resolution < 1`.
+    pub fn with_resolution(view: &NumericView, resolution: usize) -> Self {
+        assert!(resolution >= 1, "grid resolution must be at least 1");
+        let dims = view.dims();
+        let mut resolution = resolution;
+        while resolution > 1 && total_cells(resolution, dims) > Self::MAX_CELLS {
+            resolution -= 1;
+        }
+        let mut cells = vec![Vec::new(); total_cells(resolution, dims)];
+        for (i, point) in view.iter() {
+            let cell = Self::cell_of(point, resolution);
+            cells[cell].push(i as u32);
+        }
+        Self {
+            dims,
+            resolution,
+            cells,
+        }
+    }
+
+    /// Per-dimension resolution actually used.
+    pub fn resolution(&self) -> usize {
+        self.resolution
+    }
+
+    /// Flat cell id of a normalized point.
+    fn cell_of(point: &[f64], resolution: usize) -> usize {
+        let mut id = 0usize;
+        for &x in point {
+            let b = ((x / 100.0 * resolution as f64) as usize).min(resolution - 1);
+            id = id * resolution + b;
+        }
+        id
+    }
+
+    /// Per-dimension bucket range `[lo_bucket, hi_bucket]` overlapping
+    /// `[lo, hi]` on the normalized domain.
+    fn bucket_range(&self, lo: f64, hi: f64) -> (usize, usize) {
+        let r = self.resolution as f64;
+        let lo_b = ((lo / 100.0 * r) as usize).min(self.resolution - 1);
+        let hi_b = ((hi / 100.0 * r) as usize).min(self.resolution - 1);
+        (lo_b, hi_b)
+    }
+
+    /// The normalized bounding box of a per-dimension bucket combination.
+    fn bucket_rect(&self, buckets: &[usize]) -> Rect {
+        let w = 100.0 / self.resolution as f64;
+        Rect::new(
+            buckets.iter().map(|&b| b as f64 * w).collect(),
+            buckets.iter().map(|&b| (b + 1) as f64 * w).collect(),
+        )
+    }
+}
+
+fn total_cells(resolution: usize, dims: usize) -> usize {
+    resolution.saturating_pow(dims as u32)
+}
+
+impl RegionIndex for GridIndex {
+    fn query(&self, view: &NumericView, rect: &Rect) -> QueryOutput {
+        assert_eq!(rect.dims(), self.dims, "query dimensionality mismatch");
+        let ranges: Vec<(usize, usize)> = (0..self.dims)
+            .map(|d| self.bucket_range(rect.lo(d), rect.hi(d)))
+            .collect();
+        let mut indices = Vec::new();
+        let mut examined = 0usize;
+        // Iterate the cross product of overlapping bucket ranges.
+        let mut buckets: Vec<usize> = ranges.iter().map(|&(lo, _)| lo).collect();
+        loop {
+            let cell_rect = self.bucket_rect(&buckets);
+            let flat = buckets
+                .iter()
+                .fold(0usize, |acc, &b| acc * self.resolution + b);
+            let cell = &self.cells[flat];
+            if !cell.is_empty() {
+                // Cells fully covered by the query need no per-point test.
+                let fully_inside = (0..self.dims)
+                    .all(|d| cell_rect.lo(d) >= rect.lo(d) && cell_rect.hi(d) <= rect.hi(d));
+                if fully_inside {
+                    indices.extend_from_slice(cell);
+                } else {
+                    examined += cell.len();
+                    indices.extend(
+                        cell.iter()
+                            .copied()
+                            .filter(|&i| rect.contains(view.point(i as usize))),
+                    );
+                }
+            }
+            // Advance the odometer over bucket combinations.
+            let mut d = self.dims;
+            loop {
+                if d == 0 {
+                    return QueryOutput { indices, examined };
+                }
+                d -= 1;
+                if buckets[d] < ranges[d].1 {
+                    buckets[d] += 1;
+                    break;
+                }
+                buckets[d] = ranges[d].0;
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "grid"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aide_data::view::{Domain, SpaceMapper};
+    use aide_util::rng::{Rng, Xoshiro256pp};
+
+    fn uniform_view(n: usize, dims: usize, seed: u64) -> NumericView {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let mapper = SpaceMapper::new(
+            (0..dims).map(|d| format!("a{d}")).collect(),
+            vec![Domain::new(0.0, 100.0); dims],
+        );
+        let data: Vec<f64> = (0..n * dims).map(|_| rng.uniform(0.0, 100.0)).collect();
+        NumericView::new(mapper, data, (0..n as u32).collect())
+    }
+
+    #[test]
+    fn query_matches_brute_force() {
+        let view = uniform_view(5_000, 2, 1);
+        let idx = GridIndex::build(&view);
+        let rects = [
+            Rect::new(vec![10.0, 20.0], vec![30.0, 60.0]),
+            Rect::new(vec![0.0, 0.0], vec![100.0, 100.0]),
+            Rect::new(vec![99.5, 99.5], vec![100.0, 100.0]),
+            Rect::new(vec![50.0, 50.0], vec![50.0, 50.0]),
+        ];
+        for rect in &rects {
+            let mut got = idx.query(&view, rect).indices;
+            got.sort_unstable();
+            let mut want: Vec<u32> = view
+                .indices_in(rect)
+                .into_iter()
+                .map(|i| i as u32)
+                .collect();
+            want.sort_unstable();
+            assert_eq!(got, want, "mismatch for rect {rect:?}");
+        }
+    }
+
+    #[test]
+    fn query_matches_brute_force_high_dims() {
+        for dims in [3, 4, 5] {
+            let view = uniform_view(2_000, dims, dims as u64);
+            let idx = GridIndex::build(&view);
+            let rect = Rect::new(vec![20.0; dims], vec![80.0; dims]);
+            let mut got = idx.query(&view, &rect).indices;
+            got.sort_unstable();
+            let mut want: Vec<u32> = view
+                .indices_in(&rect)
+                .into_iter()
+                .map(|i| i as u32)
+                .collect();
+            want.sort_unstable();
+            assert_eq!(got, want, "mismatch in {dims}-D");
+        }
+    }
+
+    #[test]
+    fn full_cell_coverage_examines_nothing() {
+        let view = uniform_view(1_000, 2, 3);
+        let idx = GridIndex::with_resolution(&view, 10);
+        // The whole domain: every cell is fully inside, zero point tests.
+        let out = idx.query(&view, &Rect::full_domain(2));
+        assert_eq!(out.indices.len(), 1_000);
+        assert_eq!(out.examined, 0);
+        // A small rectangle strictly inside one cell examines only that
+        // cell's points.
+        let out = idx.query(&view, &Rect::new(vec![1.0, 1.0], vec![2.0, 2.0]));
+        assert!(out.examined <= 1_000 / 10, "examined {}", out.examined);
+    }
+
+    #[test]
+    fn resolution_caps_total_cells() {
+        let view = uniform_view(100, 5, 4);
+        let idx = GridIndex::with_resolution(&view, 64);
+        // 64^5 is far beyond the cap; resolution must have been reduced.
+        assert!(idx.resolution().pow(5) <= 1 << 20);
+        assert!(idx.resolution() >= 2);
+    }
+
+    #[test]
+    fn empty_view_queries_cleanly() {
+        let mapper = SpaceMapper::new(vec!["x".into()], vec![Domain::new(0.0, 100.0)]);
+        let view = NumericView::new(mapper, vec![], vec![]);
+        let idx = GridIndex::build(&view);
+        let out = idx.query(&view, &Rect::full_domain(1));
+        assert!(out.indices.is_empty());
+    }
+
+    #[test]
+    fn count_agrees_with_query() {
+        let view = uniform_view(3_000, 2, 5);
+        let idx = GridIndex::build(&view);
+        let rect = Rect::new(vec![25.0, 25.0], vec![75.0, 75.0]);
+        assert_eq!(
+            idx.count(&view, &rect),
+            idx.query(&view, &rect).indices.len()
+        );
+    }
+}

@@ -1,0 +1,266 @@
+//! Median-split k-d tree.
+//!
+//! An alternative access path to [`GridIndex`](crate::GridIndex): balanced
+//! by construction (median splits on the widest dimension), so it degrades
+//! gracefully on skewed exploration domains where equi-width grid cells
+//! become badly unbalanced. The substrate bench compares the two.
+
+use aide_data::NumericView;
+use aide_util::geom::Rect;
+
+use crate::{QueryOutput, RegionIndex};
+
+const LEAF_SIZE: usize = 32;
+
+#[derive(Debug, Clone)]
+enum Node {
+    /// Interior node: split `dim` at `value`; points with
+    /// `point[dim] <= value` go left.
+    Split {
+        dim: usize,
+        value: f64,
+        left: usize,
+        right: usize,
+    },
+    /// Leaf bucket of view indices.
+    Leaf { indices: Vec<u32> },
+}
+
+/// A k-d tree over a [`NumericView`]'s normalized points.
+#[derive(Debug, Clone)]
+pub struct KdTree {
+    dims: usize,
+    nodes: Vec<Node>,
+    root: usize,
+}
+
+impl KdTree {
+    /// Builds a tree by recursive median splits on the widest dimension.
+    pub fn build(view: &NumericView) -> Self {
+        let mut indices: Vec<u32> = (0..view.len() as u32).collect();
+        let mut nodes = Vec::new();
+        let root = Self::build_node(view, &mut indices[..], &mut nodes);
+        Self {
+            dims: view.dims(),
+            nodes,
+            root,
+        }
+    }
+
+    fn build_node(view: &NumericView, indices: &mut [u32], nodes: &mut Vec<Node>) -> usize {
+        if indices.len() <= LEAF_SIZE {
+            nodes.push(Node::Leaf {
+                indices: indices.to_vec(),
+            });
+            return nodes.len() - 1;
+        }
+        // Split the dimension with the largest spread among these points.
+        let dims = view.dims();
+        let mut best_dim = 0;
+        let mut best_spread = -1.0;
+        for d in 0..dims {
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for &i in indices.iter() {
+                let v = view.point(i as usize)[d];
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+            if hi - lo > best_spread {
+                best_spread = hi - lo;
+                best_dim = d;
+            }
+        }
+        if best_spread == 0.0 {
+            // All points identical along every dimension: cannot split.
+            nodes.push(Node::Leaf {
+                indices: indices.to_vec(),
+            });
+            return nodes.len() - 1;
+        }
+        let mid = indices.len() / 2;
+        indices.select_nth_unstable_by(mid, |&a, &b| {
+            view.point(a as usize)[best_dim]
+                .partial_cmp(&view.point(b as usize)[best_dim])
+                .expect("normalized coordinates are finite")
+        });
+        let split_value = view.point(indices[mid] as usize)[best_dim];
+        // Partition strictly: everything <= split goes left. The median
+        // element itself may have duplicates on both sides of `mid`, so
+        // re-partition to keep the invariant exact.
+        let split_at = partition_by_value(view, indices, best_dim, split_value);
+        if split_at == 0 || split_at == indices.len() {
+            // Degenerate (mass of duplicates): fall back to a leaf.
+            nodes.push(Node::Leaf {
+                indices: indices.to_vec(),
+            });
+            return nodes.len() - 1;
+        }
+        let (left_slice, right_slice) = indices.split_at_mut(split_at);
+        let left = Self::build_node(view, left_slice, nodes);
+        let right = Self::build_node(view, right_slice, nodes);
+        nodes.push(Node::Split {
+            dim: best_dim,
+            value: split_value,
+            left,
+            right,
+        });
+        nodes.len() - 1
+    }
+
+    /// Number of nodes (for diagnostics).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+/// Reorders `indices` so points with `point[dim] <= value` come first;
+/// returns the boundary position.
+fn partition_by_value(view: &NumericView, indices: &mut [u32], dim: usize, value: f64) -> usize {
+    let mut lo = 0usize;
+    let mut hi = indices.len();
+    while lo < hi {
+        if view.point(indices[lo] as usize)[dim] <= value {
+            lo += 1;
+        } else {
+            hi -= 1;
+            indices.swap(lo, hi);
+        }
+    }
+    lo
+}
+
+impl RegionIndex for KdTree {
+    fn query(&self, view: &NumericView, rect: &Rect) -> QueryOutput {
+        assert_eq!(rect.dims(), self.dims, "query dimensionality mismatch");
+        if self.nodes.is_empty() {
+            return QueryOutput {
+                indices: Vec::new(),
+                examined: 0,
+            };
+        }
+        let mut indices = Vec::new();
+        let mut examined = 0usize;
+        let mut stack = vec![self.root];
+        while let Some(node) = stack.pop() {
+            match &self.nodes[node] {
+                Node::Leaf { indices: bucket } => {
+                    examined += bucket.len();
+                    indices.extend(
+                        bucket
+                            .iter()
+                            .copied()
+                            .filter(|&i| rect.contains(view.point(i as usize))),
+                    );
+                }
+                Node::Split {
+                    dim,
+                    value,
+                    left,
+                    right,
+                } => {
+                    if rect.lo(*dim) <= *value {
+                        stack.push(*left);
+                    }
+                    if rect.hi(*dim) > *value {
+                        stack.push(*right);
+                    }
+                }
+            }
+        }
+        QueryOutput { indices, examined }
+    }
+
+    fn name(&self) -> &'static str {
+        "kdtree"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aide_data::view::{Domain, SpaceMapper};
+    use aide_util::rng::{Rng, Xoshiro256pp};
+
+    fn uniform_view(n: usize, dims: usize, seed: u64) -> NumericView {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let mapper = SpaceMapper::new(
+            (0..dims).map(|d| format!("a{d}")).collect(),
+            vec![Domain::new(0.0, 100.0); dims],
+        );
+        let data: Vec<f64> = (0..n * dims).map(|_| rng.uniform(0.0, 100.0)).collect();
+        NumericView::new(mapper, data, (0..n as u32).collect())
+    }
+
+    #[test]
+    fn query_matches_brute_force() {
+        for dims in [1, 2, 3, 5] {
+            let view = uniform_view(4_000, dims, 10 + dims as u64);
+            let tree = KdTree::build(&view);
+            let rect = Rect::new(vec![15.0; dims], vec![60.0; dims]);
+            let mut got = tree.query(&view, &rect).indices;
+            got.sort_unstable();
+            let mut want: Vec<u32> = view
+                .indices_in(&rect)
+                .into_iter()
+                .map(|i| i as u32)
+                .collect();
+            want.sort_unstable();
+            assert_eq!(got, want, "mismatch in {dims}-D");
+        }
+    }
+
+    #[test]
+    fn pruning_examines_fewer_points_than_scan() {
+        let view = uniform_view(20_000, 2, 2);
+        let tree = KdTree::build(&view);
+        let rect = Rect::new(vec![40.0, 40.0], vec![45.0, 45.0]);
+        let out = tree.query(&view, &rect);
+        assert!(
+            out.examined < view.len() / 4,
+            "examined {} of {}",
+            out.examined,
+            view.len()
+        );
+    }
+
+    #[test]
+    fn duplicate_heavy_data_builds_and_queries() {
+        // A column where 90% of the mass sits on one value stresses the
+        // split-partition logic.
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
+        let n = 2_000;
+        let mapper = SpaceMapper::new(
+            vec!["x".into(), "y".into()],
+            vec![Domain::new(0.0, 100.0); 2],
+        );
+        let mut data = Vec::with_capacity(n * 2);
+        for _ in 0..n {
+            let x = if rng.chance(0.9) {
+                50.0
+            } else {
+                rng.uniform(0.0, 100.0)
+            };
+            data.push(x);
+            data.push(rng.uniform(0.0, 100.0));
+        }
+        let view = NumericView::new(mapper, data, (0..n as u32).collect());
+        let tree = KdTree::build(&view);
+        let rect = Rect::new(vec![50.0, 0.0], vec![50.0, 100.0]);
+        let got = tree.query(&view, &rect).indices.len();
+        assert_eq!(got, view.count_in(&rect));
+        assert!(got >= (0.85 * n as f64) as usize);
+    }
+
+    #[test]
+    fn empty_and_tiny_views() {
+        let mapper = SpaceMapper::new(vec!["x".into()], vec![Domain::new(0.0, 100.0)]);
+        let empty = NumericView::new(mapper.clone(), vec![], vec![]);
+        let tree = KdTree::build(&empty);
+        assert!(tree.query(&empty, &Rect::full_domain(1)).indices.is_empty());
+
+        let single = NumericView::new(mapper, vec![42.0], vec![0]);
+        let tree = KdTree::build(&single);
+        assert_eq!(tree.query(&single, &Rect::full_domain(1)).indices, vec![0]);
+    }
+}

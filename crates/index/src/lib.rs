@@ -1,0 +1,63 @@
+//! Sample-extraction indexes for AIDE.
+//!
+//! Every AIDE exploration phase boils down to *"retrieve k random tuples
+//! inside this hyper-rectangle"* (grid cells in the discovery phase,
+//! cluster neighbourhoods in the misclassified phase, boundary slabs in the
+//! boundary phase). The paper runs these as SQL over a covering index; this
+//! crate provides the equivalent access paths over a normalized
+//! [`NumericView`](aide_data::NumericView):
+//!
+//! * [`GridIndex`] — equi-width multidimensional bucketing (the workhorse;
+//!   plays the covering index's role);
+//! * [`KdTree`] — a median-split k-d tree alternative;
+//! * [`SortedIndex`] — per-attribute sorted lists with residual filtering
+//!   (the single-column-index plan a DBMS would pick);
+//! * [`ScanIndex`] — a deliberate full-scan path modelling the expensive
+//!   whole-domain sampling queries of paper §5.2;
+//! * [`ExtractionEngine`] — the façade the framework talks to, with
+//!   per-session counters for extraction queries, tuples examined and
+//!   wall-clock time (the paper's "sample extraction time").
+
+pub mod engine;
+pub mod grid;
+pub mod kdtree;
+pub mod scan;
+pub mod sorted;
+
+pub use engine::{ExtractionEngine, ExtractionStats, IndexKind, Sample};
+pub use grid::GridIndex;
+pub use kdtree::KdTree;
+pub use scan::ScanIndex;
+pub use sorted::SortedIndex;
+
+use aide_data::NumericView;
+use aide_util::geom::Rect;
+
+/// Result of a region query: matching view indices plus the number of
+/// points the access path had to examine to find them (the paper's
+/// extraction-cost driver).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryOutput {
+    /// View indices of points inside the query rectangle.
+    pub indices: Vec<u32>,
+    /// Points whose coordinates were compared against the rectangle.
+    pub examined: usize,
+}
+
+/// A spatial access path over a [`NumericView`].
+///
+/// Implementations return *view indices* (positions in the view, not table
+/// row ids); [`NumericView::row_id`](aide_data::NumericView::row_id) maps
+/// them back to source rows.
+pub trait RegionIndex: Send + Sync {
+    /// All view indices whose points lie inside `rect`.
+    fn query(&self, view: &NumericView, rect: &Rect) -> QueryOutput;
+
+    /// Number of points inside `rect`.
+    fn count(&self, view: &NumericView, rect: &Rect) -> usize {
+        self.query(view, rect).indices.len()
+    }
+
+    /// Human-readable name for diagnostics and benches.
+    fn name(&self) -> &'static str;
+}

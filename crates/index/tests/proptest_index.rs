@@ -1,0 +1,98 @@
+//! Property-based tests: every access path answers rectangle queries
+//! identically to a brute-force scan, and sampling honors its contract.
+
+use std::collections::HashSet;
+
+use aide_data::view::{Domain, SpaceMapper};
+use aide_data::NumericView;
+use aide_index::{
+    ExtractionEngine, GridIndex, IndexKind, KdTree, RegionIndex, ScanIndex, SortedIndex,
+};
+use aide_util::geom::Rect;
+use aide_util::rng::Xoshiro256pp;
+use proptest::prelude::*;
+
+fn view_strategy() -> impl Strategy<Value = NumericView> {
+    proptest::collection::vec((0.0f64..100.0, 0.0f64..100.0), 0..300).prop_map(|points| {
+        let mapper = SpaceMapper::new(
+            vec!["x".into(), "y".into()],
+            vec![Domain::new(0.0, 100.0); 2],
+        );
+        let data: Vec<f64> = points.iter().flat_map(|&(x, y)| [x, y]).collect();
+        let n = points.len();
+        NumericView::new(mapper, data, (0..n as u32).collect())
+    })
+}
+
+fn rect_strategy() -> impl Strategy<Value = Rect> {
+    (
+        (0.0f64..100.0, 0.0f64..100.0),
+        (0.0f64..100.0, 0.0f64..100.0),
+    )
+        .prop_map(|(a, b)| {
+            Rect::new(
+                vec![a.0.min(b.0), a.1.min(b.1)],
+                vec![a.0.max(b.0), a.1.max(b.1)],
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn all_access_paths_agree_with_brute_force(view in view_strategy(), rect in rect_strategy()) {
+        let mut expected: Vec<u32> = view
+            .indices_in(&rect)
+            .into_iter()
+            .map(|i| i as u32)
+            .collect();
+        expected.sort_unstable();
+
+        let grid = GridIndex::build(&view);
+        let kd = KdTree::build(&view);
+        let sorted = SortedIndex::build(&view);
+        let scan = ScanIndex::new();
+        let paths: [&dyn RegionIndex; 4] = [&grid, &kd, &sorted, &scan];
+        for path in paths {
+            let mut got = path.query(&view, &rect).indices;
+            got.sort_unstable();
+            prop_assert_eq!(&got, &expected, "path {} disagrees", path.name());
+        }
+    }
+
+    #[test]
+    fn sampling_returns_distinct_in_rect_points(
+        view in view_strategy(),
+        rect in rect_strategy(),
+        n in 0usize..50,
+        seed in any::<u64>(),
+    ) {
+        let inside = view.count_in(&rect);
+        let mut engine = ExtractionEngine::new(view, IndexKind::Grid);
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let samples = engine.sample_in(&rect, n, &mut rng);
+        prop_assert_eq!(samples.len(), n.min(inside));
+        let ids: HashSet<u32> = samples.iter().map(|s| s.row_id).collect();
+        prop_assert_eq!(ids.len(), samples.len(), "duplicate samples");
+        for s in &samples {
+            prop_assert!(rect.contains(&s.point));
+        }
+    }
+
+    #[test]
+    fn exclusions_are_respected(
+        view in view_strategy(),
+        rect in rect_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let mut engine = ExtractionEngine::new(view, IndexKind::KdTree);
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let first = engine.sample_in(&rect, 10, &mut rng);
+        let excluded: HashSet<u32> = first.iter().map(|s| s.row_id).collect();
+        let second = engine.sample_in_excluding(&rect, 1_000, &mut rng, &excluded);
+        for s in &second {
+            prop_assert!(!excluded.contains(&s.row_id));
+        }
+    }
+}

@@ -1,0 +1,735 @@
+//! CART decision-tree classifier.
+//!
+//! AIDE models the user's interest with a binary decision tree over the
+//! normalized exploration attributes (paper §2.2; the authors used Weka's
+//! CART [8]). We implement CART from scratch: binary splits on numeric
+//! attributes chosen by Gini-impurity decrease, midpoint thresholds, and
+//! optional cost-complexity pruning.
+//!
+//! Two properties of the tree are load-bearing for AIDE:
+//!
+//! 1. it is a *white-box* model — every relevant leaf corresponds to a
+//!    hyper-rectangle (conjunction of range predicates), so the learned
+//!    model translates directly into a SQL query
+//!    ([`DecisionTree::relevant_regions`]);
+//! 2. its split rules expose which boundaries moved between iterations,
+//!    which drives the adaptive boundary-exploitation phase (§5.2).
+
+use aide_util::geom::Rect;
+
+/// Hyper-parameters for tree induction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TreeParams {
+    /// Maximum tree depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum samples required to split a node.
+    pub min_samples_split: usize,
+    /// Minimum samples in each child of a split.
+    pub min_samples_leaf: usize,
+    /// Minimum Gini-impurity decrease for a split to be kept.
+    pub min_gain: f64,
+    /// Cost-complexity pruning strength (0 disables pruning).
+    pub ccp_alpha: f64,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        Self {
+            max_depth: 32,
+            min_samples_split: 2,
+            min_samples_leaf: 1,
+            min_gain: 1e-9,
+            ccp_alpha: 0.0,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Node {
+    Leaf {
+        label: bool,
+        samples: usize,
+        positives: usize,
+    },
+    Split {
+        dim: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+        samples: usize,
+        positives: usize,
+    },
+}
+
+/// A trained CART classifier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionTree {
+    dims: usize,
+    nodes: Vec<Node>,
+    root: usize,
+}
+
+/// One decision rule (`point[dim] <= threshold` goes left), exposed so the
+/// boundary-exploitation phase can diff split rules between iterations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SplitRule {
+    /// Attribute index.
+    pub dim: usize,
+    /// Split threshold on the normalized domain.
+    pub threshold: f64,
+}
+
+impl DecisionTree {
+    /// Fits a tree on row-major `data` (`dims` values per point) with
+    /// boolean `labels` (`true` = relevant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is ragged, the label count disagrees, or the
+    /// training set is empty.
+    pub fn fit(dims: usize, data: &[f64], labels: &[bool], params: &TreeParams) -> Self {
+        assert!(dims > 0, "at least one attribute is required");
+        assert_eq!(data.len() % dims, 0, "ragged training buffer");
+        let n = data.len() / dims;
+        assert_eq!(n, labels.len(), "label count mismatch");
+        assert!(n > 0, "cannot fit a tree on zero samples");
+        let mut indices: Vec<u32> = (0..n as u32).collect();
+        let mut nodes = Vec::new();
+        let root = build(dims, data, labels, &mut indices[..], params, 0, &mut nodes);
+        let mut tree = Self { dims, nodes, root };
+        if params.ccp_alpha > 0.0 {
+            tree.prune(params.ccp_alpha);
+        }
+        tree
+    }
+
+    /// Number of attributes.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Predicts relevance for a normalized point.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the point has the wrong dimensionality.
+    pub fn predict(&self, point: &[f64]) -> bool {
+        debug_assert_eq!(point.len(), self.dims);
+        let mut node = self.root;
+        loop {
+            match &self.nodes[node] {
+                Node::Leaf { label, .. } => return *label,
+                Node::Split {
+                    dim,
+                    threshold,
+                    left,
+                    right,
+                    ..
+                } => {
+                    node = if point[*dim] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+
+    /// Number of leaves.
+    pub fn num_leaves(&self) -> usize {
+        self.count_leaves(self.root)
+    }
+
+    fn count_leaves(&self, node: usize) -> usize {
+        match &self.nodes[node] {
+            Node::Leaf { .. } => 1,
+            Node::Split { left, right, .. } => self.count_leaves(*left) + self.count_leaves(*right),
+        }
+    }
+
+    /// Maximum depth (a single leaf has depth 0).
+    pub fn depth(&self) -> usize {
+        self.depth_of(self.root)
+    }
+
+    fn depth_of(&self, node: usize) -> usize {
+        match &self.nodes[node] {
+            Node::Leaf { .. } => 0,
+            Node::Split { left, right, .. } => 1 + self.depth_of(*left).max(self.depth_of(*right)),
+        }
+    }
+
+    /// The hyper-rectangles of all leaves labeled `label`, intersected
+    /// with `bounds` (the normalized exploration space). Relevant regions
+    /// are the predicate set `P_r` the extraction query is built from
+    /// (paper §2.2); irrelevant regions are `P_nr`.
+    pub fn regions(&self, label: bool, bounds: &Rect) -> Vec<Rect> {
+        assert_eq!(bounds.dims(), self.dims, "bounds dimensionality mismatch");
+        let mut out = Vec::new();
+        self.collect_regions(self.root, label, bounds.clone(), &mut out);
+        out
+    }
+
+    /// Shorthand for `regions(true, bounds)` — the relevant areas.
+    pub fn relevant_regions(&self, bounds: &Rect) -> Vec<Rect> {
+        self.regions(true, bounds)
+    }
+
+    fn collect_regions(&self, node: usize, label: bool, rect: Rect, out: &mut Vec<Rect>) {
+        match &self.nodes[node] {
+            Node::Leaf { label: l, .. } => {
+                if *l == label {
+                    out.push(rect);
+                }
+            }
+            Node::Split {
+                dim,
+                threshold,
+                left,
+                right,
+                ..
+            } => {
+                let t = *threshold;
+                if rect.lo(*dim) <= t {
+                    let l = rect.with_dim(*dim, rect.lo(*dim), t.min(rect.hi(*dim)));
+                    self.collect_regions(*left, label, l, out);
+                }
+                if rect.hi(*dim) > t {
+                    let r = rect.with_dim(*dim, t.max(rect.lo(*dim)), rect.hi(*dim));
+                    self.collect_regions(*right, label, r, out);
+                }
+            }
+        }
+    }
+
+    /// All split rules in the tree, in a stable (preorder) order.
+    pub fn split_rules(&self) -> Vec<SplitRule> {
+        let mut out = Vec::new();
+        self.collect_rules(self.root, &mut out);
+        out
+    }
+
+    fn collect_rules(&self, node: usize, out: &mut Vec<SplitRule>) {
+        if let Node::Split {
+            dim,
+            threshold,
+            left,
+            right,
+            ..
+        } = &self.nodes[node]
+        {
+            out.push(SplitRule {
+                dim: *dim,
+                threshold: *threshold,
+            });
+            self.collect_rules(*left, out);
+            self.collect_rules(*right, out);
+        }
+    }
+
+    /// Attributes that appear in at least one split rule. AIDE uses this
+    /// to check whether irrelevant exploration attributes were eliminated
+    /// from the final query (paper §6.3).
+    pub fn used_dims(&self) -> Vec<usize> {
+        let mut used = vec![false; self.dims];
+        for rule in self.split_rules() {
+            used[rule.dim] = true;
+        }
+        used.iter()
+            .enumerate()
+            .filter(|(_, &u)| u)
+            .map(|(d, _)| d)
+            .collect()
+    }
+
+    /// Gini importance per attribute (impurity decrease weighted by node
+    /// size, normalized to sum to 1 when any split exists).
+    pub fn feature_importances(&self) -> Vec<f64> {
+        let mut imp = vec![0.0; self.dims];
+        self.accumulate_importance(self.root, &mut imp);
+        let total: f64 = imp.iter().sum();
+        if total > 0.0 {
+            for v in &mut imp {
+                *v /= total;
+            }
+        }
+        imp
+    }
+
+    fn accumulate_importance(&self, node: usize, imp: &mut [f64]) {
+        if let Node::Split {
+            dim,
+            left,
+            right,
+            samples,
+            positives,
+            ..
+        } = &self.nodes[node]
+        {
+            let (ls, lp) = self.node_counts(*left);
+            let (rs, rp) = self.node_counts(*right);
+            let parent = gini(*positives, *samples);
+            let weighted = (ls as f64 * gini(lp, ls) + rs as f64 * gini(rp, rs)) / *samples as f64;
+            imp[*dim] += *samples as f64 * (parent - weighted);
+            self.accumulate_importance(*left, imp);
+            self.accumulate_importance(*right, imp);
+        }
+    }
+
+    fn node_counts(&self, node: usize) -> (usize, usize) {
+        match &self.nodes[node] {
+            Node::Leaf {
+                samples, positives, ..
+            }
+            | Node::Split {
+                samples, positives, ..
+            } => (*samples, *positives),
+        }
+    }
+
+    /// Renders the tree in Graphviz DOT format with attribute names —
+    /// the white-box inspection view (split nodes show their rule, leaves
+    /// show label and sample counts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `attr_names` does not cover every attribute index.
+    pub fn to_dot(&self, attr_names: &[&str]) -> String {
+        assert!(
+            attr_names.len() >= self.dims,
+            "need a name for each of the {} attributes",
+            self.dims
+        );
+        let mut out = String::from("digraph decision_tree {\n  node [shape=box];\n");
+        self.dot_node(self.root, attr_names, &mut out);
+        out.push_str("}\n");
+        out
+    }
+
+    fn dot_node(&self, node: usize, attr_names: &[&str], out: &mut String) {
+        match &self.nodes[node] {
+            Node::Leaf {
+                label,
+                samples,
+                positives,
+            } => {
+                let class = if *label { "relevant" } else { "irrelevant" };
+                out.push_str(&format!(
+                    "  n{node} [label=\"{class}\\n{positives}/{samples} relevant\", \
+                     style=filled, fillcolor=\"{}\"];\n",
+                    if *label { "palegreen" } else { "lightgray" }
+                ));
+            }
+            Node::Split {
+                dim,
+                threshold,
+                left,
+                right,
+                ..
+            } => {
+                out.push_str(&format!(
+                    "  n{node} [label=\"{} <= {:.4}\"];\n",
+                    attr_names[*dim], threshold
+                ));
+                out.push_str(&format!("  n{node} -> n{left} [label=\"yes\"];\n"));
+                out.push_str(&format!("  n{node} -> n{right} [label=\"no\"];\n"));
+                self.dot_node(*left, attr_names, out);
+                self.dot_node(*right, attr_names, out);
+            }
+        }
+    }
+
+    /// Weakest-link cost-complexity pruning: repeatedly collapses the
+    /// internal node with the smallest effective alpha until every
+    /// remaining node's alpha exceeds `ccp_alpha`.
+    pub fn prune(&mut self, ccp_alpha: f64) {
+        loop {
+            let Some((node, alpha)) = self.weakest_link(self.root) else {
+                return;
+            };
+            if alpha > ccp_alpha {
+                return;
+            }
+            let (samples, positives) = self.node_counts(node);
+            self.nodes[node] = Node::Leaf {
+                label: positives * 2 > samples,
+                samples,
+                positives,
+            };
+        }
+    }
+
+    /// Returns `(node, alpha)` of the internal node with minimal effective
+    /// alpha, or `None` if the tree is a single leaf.
+    fn weakest_link(&self, root: usize) -> Option<(usize, f64)> {
+        let mut best: Option<(usize, f64)> = None;
+        let mut stack = vec![root];
+        while let Some(node) = stack.pop() {
+            if let Node::Split { left, right, .. } = &self.nodes[node] {
+                let alpha = self.effective_alpha(node);
+                if best.map(|(_, a)| alpha < a).unwrap_or(true) {
+                    best = Some((node, alpha));
+                }
+                stack.push(*left);
+                stack.push(*right);
+            }
+        }
+        best
+    }
+
+    /// `(R(collapsed leaf) - R(subtree)) / (leaves - 1)` with
+    /// misclassification-count risk normalized by total training size.
+    fn effective_alpha(&self, node: usize) -> f64 {
+        let (root_samples, _) = self.node_counts(self.root);
+        let (samples, positives) = self.node_counts(node);
+        let leaf_errors = positives.min(samples - positives) as f64;
+        let subtree_errors = self.subtree_errors(node) as f64;
+        let leaves = self.count_leaves(node) as f64;
+        if leaves <= 1.0 {
+            return f64::INFINITY;
+        }
+        ((leaf_errors - subtree_errors) / root_samples as f64) / (leaves - 1.0)
+    }
+
+    fn subtree_errors(&self, node: usize) -> usize {
+        match &self.nodes[node] {
+            Node::Leaf {
+                label,
+                samples,
+                positives,
+            } => {
+                if *label {
+                    samples - positives
+                } else {
+                    *positives
+                }
+            }
+            Node::Split { left, right, .. } => {
+                self.subtree_errors(*left) + self.subtree_errors(*right)
+            }
+        }
+    }
+}
+
+/// Gini impurity of a node with `positives` of `samples` relevant.
+#[inline]
+fn gini(positives: usize, samples: usize) -> f64 {
+    if samples == 0 {
+        return 0.0;
+    }
+    let p = positives as f64 / samples as f64;
+    2.0 * p * (1.0 - p)
+}
+
+/// Recursively builds the subtree over `indices`, returning its node id.
+fn build(
+    dims: usize,
+    data: &[f64],
+    labels: &[bool],
+    indices: &mut [u32],
+    params: &TreeParams,
+    depth: usize,
+    nodes: &mut Vec<Node>,
+) -> usize {
+    let samples = indices.len();
+    let positives = indices.iter().filter(|&&i| labels[i as usize]).count();
+    let make_leaf = |nodes: &mut Vec<Node>| {
+        nodes.push(Node::Leaf {
+            // Ties favour "irrelevant": showing the user an uncertain area
+            // is cheaper through discovery than through a bad prediction.
+            label: positives * 2 > samples,
+            samples,
+            positives,
+        });
+        nodes.len() - 1
+    };
+    if positives == 0
+        || positives == samples
+        || samples < params.min_samples_split
+        || depth >= params.max_depth
+    {
+        return make_leaf(nodes);
+    }
+    let Some((dim, threshold, gain)) =
+        best_split(dims, data, labels, indices, params.min_samples_leaf)
+    else {
+        return make_leaf(nodes);
+    };
+    if gain < params.min_gain {
+        return make_leaf(nodes);
+    }
+    // Partition in place: left gets point[dim] <= threshold.
+    let mut lo = 0usize;
+    let mut hi = indices.len();
+    while lo < hi {
+        if data[indices[lo] as usize * dims + dim] <= threshold {
+            lo += 1;
+        } else {
+            hi -= 1;
+            indices.swap(lo, hi);
+        }
+    }
+    debug_assert!(lo > 0 && lo < indices.len(), "degenerate split survived");
+    let (left_slice, right_slice) = indices.split_at_mut(lo);
+    let left = build(dims, data, labels, left_slice, params, depth + 1, nodes);
+    let right = build(dims, data, labels, right_slice, params, depth + 1, nodes);
+    nodes.push(Node::Split {
+        dim,
+        threshold,
+        left,
+        right,
+        samples,
+        positives,
+    });
+    nodes.len() - 1
+}
+
+/// Finds the `(dim, threshold, gain)` with maximal Gini decrease, or
+/// `None` if no split separates the points.
+fn best_split(
+    dims: usize,
+    data: &[f64],
+    labels: &[bool],
+    indices: &[u32],
+    min_samples_leaf: usize,
+) -> Option<(usize, f64, f64)> {
+    let n = indices.len();
+    let total_pos = indices.iter().filter(|&&i| labels[i as usize]).count();
+    let parent = gini(total_pos, n);
+    let mut best: Option<(usize, f64, f64)> = None;
+    let mut order: Vec<u32> = indices.to_vec();
+    for dim in 0..dims {
+        order.sort_unstable_by(|&a, &b| {
+            data[a as usize * dims + dim]
+                .partial_cmp(&data[b as usize * dims + dim])
+                .expect("training coordinates are finite")
+        });
+        let mut left_pos = 0usize;
+        for i in 0..n - 1 {
+            if labels[order[i] as usize] {
+                left_pos += 1;
+            }
+            let v = data[order[i] as usize * dims + dim];
+            let next = data[order[i + 1] as usize * dims + dim];
+            if v == next {
+                continue; // cannot split between equal values
+            }
+            let left_n = i + 1;
+            let right_n = n - left_n;
+            if left_n < min_samples_leaf || right_n < min_samples_leaf {
+                continue;
+            }
+            let right_pos = total_pos - left_pos;
+            let weighted = (left_n as f64 * gini(left_pos, left_n)
+                + right_n as f64 * gini(right_pos, right_n))
+                / n as f64;
+            let gain = parent - weighted;
+            if best.map(|(_, _, g)| gain > g).unwrap_or(true) {
+                // Midpoint threshold: no training point sits exactly on
+                // the boundary, keeping region extraction unambiguous.
+                best = Some((dim, v + (next - v) / 2.0, gain));
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds the paper's Figure 2 example: relevant iff
+    /// (age <= 20 ∧ 10 < dosage <= 15) ∨ (20 < age <= 40 ∧ dosage <= 10).
+    fn figure2_data() -> (Vec<f64>, Vec<bool>) {
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        let mut push = |age: f64, dosage: f64| {
+            let relevant = (age <= 20.0 && dosage > 10.0 && dosage <= 15.0)
+                || (age > 20.0 && age <= 40.0 && dosage <= 10.0);
+            data.push(age);
+            data.push(dosage);
+            labels.push(relevant);
+        };
+        for age_step in 0..40 {
+            for dosage_step in 0..15 {
+                push(age_step as f64 + 0.5, dosage_step as f64 + 0.5);
+            }
+        }
+        (data, labels)
+    }
+
+    #[test]
+    fn separable_data_is_learned_exactly() {
+        let (data, labels) = figure2_data();
+        let tree = DecisionTree::fit(2, &data, &labels, &TreeParams::default());
+        for (i, &label) in labels.iter().enumerate() {
+            let p = &data[i * 2..i * 2 + 2];
+            assert_eq!(tree.predict(p), label, "point {p:?}");
+        }
+    }
+
+    #[test]
+    fn relevant_regions_partition_the_space() {
+        let (data, labels) = figure2_data();
+        let tree = DecisionTree::fit(2, &data, &labels, &TreeParams::default());
+        let bounds = Rect::new(vec![0.0, 0.0], vec![40.0, 15.0]);
+        let relevant = tree.regions(true, &bounds);
+        let irrelevant = tree.regions(false, &bounds);
+        assert!(!relevant.is_empty());
+        // Volumes of relevant + irrelevant regions tile the bounds.
+        let vol: f64 = relevant.iter().chain(&irrelevant).map(|r| r.volume()).sum();
+        assert!((vol - bounds.volume()).abs() < 1e-6, "volume {vol}");
+        // Every training point's region label matches the prediction.
+        for i in 0..labels.len() {
+            let p = &data[i * 2..i * 2 + 2];
+            let in_relevant = relevant.iter().any(|r| r.contains(p));
+            assert_eq!(in_relevant, tree.predict(p), "point {p:?}");
+        }
+    }
+
+    #[test]
+    fn pure_training_set_yields_single_leaf() {
+        let data = vec![1.0, 2.0, 3.0, 4.0];
+        let labels = vec![true, true];
+        let tree = DecisionTree::fit(2, &data, &labels, &TreeParams::default());
+        assert_eq!(tree.num_leaves(), 1);
+        assert_eq!(tree.depth(), 0);
+        assert!(tree.predict(&[50.0, 50.0]));
+        assert!(tree.split_rules().is_empty());
+        assert!(tree.used_dims().is_empty());
+    }
+
+    #[test]
+    fn identical_points_with_mixed_labels_fall_back_to_majority() {
+        let data = vec![5.0, 5.0, 5.0, 5.0, 5.0, 5.0];
+        let labels = vec![true, false, false];
+        let tree = DecisionTree::fit(2, &data, &labels, &TreeParams::default());
+        assert_eq!(tree.num_leaves(), 1);
+        assert!(!tree.predict(&[5.0, 5.0]));
+    }
+
+    #[test]
+    fn tie_breaks_to_irrelevant() {
+        let data = vec![5.0, 5.0];
+        let labels = vec![true, false];
+        // Identical points, 50/50 labels: conservative leaf = irrelevant.
+        let tree = DecisionTree::fit(1, &data, &labels, &TreeParams::default());
+        assert!(!tree.predict(&[5.0]));
+    }
+
+    #[test]
+    fn max_depth_limits_growth() {
+        let (data, labels) = figure2_data();
+        let params = TreeParams {
+            max_depth: 1,
+            ..TreeParams::default()
+        };
+        let tree = DecisionTree::fit(2, &data, &labels, &params);
+        assert!(tree.depth() <= 1);
+        assert!(tree.num_leaves() <= 2);
+    }
+
+    #[test]
+    fn min_samples_leaf_is_respected() {
+        let (data, labels) = figure2_data();
+        let params = TreeParams {
+            min_samples_leaf: 50,
+            ..TreeParams::default()
+        };
+        let tree = DecisionTree::fit(2, &data, &labels, &params);
+        let bounds = Rect::new(vec![0.0, 0.0], vec![40.0, 15.0]);
+        // Every leaf region must hold at least 50 training points.
+        for rect in tree
+            .regions(true, &bounds)
+            .iter()
+            .chain(tree.regions(false, &bounds).iter())
+        {
+            let n = (0..labels.len())
+                .filter(|&i| rect.contains(&data[i * 2..i * 2 + 2]))
+                .count();
+            assert!(n >= 50, "leaf with {n} points");
+        }
+    }
+
+    #[test]
+    fn used_dims_excludes_irrelevant_attributes() {
+        // Label depends only on dim 0; dim 1 is noise with a coarse grid,
+        // so the clean dim-0 split dominates.
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..100 {
+            data.push(i as f64);
+            data.push((i * 37 % 100) as f64);
+            labels.push(i < 50);
+        }
+        let tree = DecisionTree::fit(2, &data, &labels, &TreeParams::default());
+        assert_eq!(tree.used_dims(), vec![0]);
+        let imp = tree.feature_importances();
+        assert!(imp[0] > 0.99);
+        assert!(imp[1] < 0.01);
+    }
+
+    #[test]
+    fn pruning_collapses_noise_splits() {
+        // 200 points, labels = dim0 < 50 with 4 flipped labels: the
+        // unpruned tree carves noise leaves; strong pruning removes them.
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..200 {
+            data.push((i % 100) as f64);
+            data.push((i / 2) as f64);
+            let mut l = (i % 100) < 50;
+            if i % 53 == 0 {
+                l = !l;
+            }
+            labels.push(l);
+        }
+        let unpruned = DecisionTree::fit(2, &data, &labels, &TreeParams::default());
+        let mut pruned = unpruned.clone();
+        pruned.prune(0.02);
+        assert!(pruned.num_leaves() < unpruned.num_leaves());
+        assert!(pruned.num_leaves() >= 2, "pruning kept the real split");
+        // The dominant structure survives.
+        assert!(pruned.predict(&[10.0, 50.0]));
+        assert!(!pruned.predict(&[90.0, 50.0]));
+    }
+
+    #[test]
+    fn split_rules_report_thresholds() {
+        let data = vec![0.0, 0.0, 10.0, 0.0, 20.0, 0.0, 30.0, 0.0];
+        let labels = vec![false, false, true, true];
+        let tree = DecisionTree::fit(2, &data, &labels, &TreeParams::default());
+        let rules = tree.split_rules();
+        assert_eq!(rules.len(), 1);
+        assert_eq!(rules[0].dim, 0);
+        assert!((rules[0].threshold - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dot_export_mentions_rules_and_leaves() {
+        let data = vec![0.0, 0.0, 10.0, 0.0, 20.0, 0.0, 30.0, 0.0];
+        let labels = vec![false, false, true, true];
+        let tree = DecisionTree::fit(2, &data, &labels, &TreeParams::default());
+        let dot = tree.to_dot(&["age", "dosage"]);
+        assert!(dot.starts_with("digraph decision_tree {"));
+        assert!(dot.contains("age <= 15.0000"), "split rule missing: {dot}");
+        assert!(dot.contains("relevant"));
+        assert!(dot.contains("irrelevant"));
+        assert!(dot.contains("-> "), "edges missing");
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    #[should_panic(expected = "need a name")]
+    fn dot_export_requires_all_attribute_names() {
+        let tree = DecisionTree::fit(2, &[1.0, 2.0], &[true], &TreeParams::default());
+        tree.to_dot(&["only_one"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero samples")]
+    fn empty_training_set_panics() {
+        DecisionTree::fit(1, &[], &[], &TreeParams::default());
+    }
+}

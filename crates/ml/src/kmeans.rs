@@ -1,0 +1,361 @@
+//! Lloyd's k-means with k-means++ seeding.
+//!
+//! Two AIDE components cluster points (paper §3.1 and §4.2): the
+//! skew-aware object-discovery phase clusters the *database* so sampling
+//! concentrates where the data mass is, and the misclassified-exploitation
+//! phase clusters *false negatives* so one extraction query serves each
+//! (likely) relevant area instead of one query per misclassified object.
+
+use aide_util::geom::Rect;
+use aide_util::rng::Rng;
+
+/// Result of a k-means run over row-major points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMeans {
+    dims: usize,
+    centroids: Vec<f64>,
+    assignments: Vec<u32>,
+    inertia: f64,
+}
+
+impl KMeans {
+    /// Maximum Lloyd iterations; convergence is typically much faster.
+    const MAX_ITERS: usize = 64;
+
+    /// Clusters `data` (row-major, `dims` per point) into at most `k`
+    /// clusters. When `k >= n` every point becomes its own centroid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`, the buffer is ragged, or there are no points.
+    pub fn fit<R: Rng + ?Sized>(dims: usize, data: &[f64], k: usize, rng: &mut R) -> Self {
+        assert!(k > 0, "k must be positive");
+        assert!(dims > 0, "at least one dimension is required");
+        assert_eq!(data.len() % dims, 0, "ragged point buffer");
+        let n = data.len() / dims;
+        assert!(n > 0, "cannot cluster zero points");
+        let k = k.min(n);
+        let point = |i: usize| &data[i * dims..(i + 1) * dims];
+
+        // --- k-means++ seeding -------------------------------------------
+        let mut centroids = Vec::with_capacity(k * dims);
+        let first = rng.index(n);
+        centroids.extend_from_slice(point(first));
+        let mut dist2: Vec<f64> = (0..n)
+            .map(|i| sq_dist(point(i), &centroids[0..dims]))
+            .collect();
+        while centroids.len() / dims < k {
+            let total: f64 = dist2.iter().sum();
+            let next = if total <= 0.0 {
+                // All remaining points coincide with a centroid; any pick
+                // works (duplicates are handled by the empty-cluster rule).
+                rng.index(n)
+            } else {
+                let mut target = rng.next_f64() * total;
+                let mut chosen = n - 1;
+                for (i, &d) in dist2.iter().enumerate() {
+                    target -= d;
+                    if target <= 0.0 {
+                        chosen = i;
+                        break;
+                    }
+                }
+                chosen
+            };
+            let c0 = centroids.len();
+            centroids.extend_from_slice(point(next));
+            let new_c = &centroids[c0..c0 + dims];
+            for (i, slot) in dist2.iter_mut().enumerate() {
+                let d = sq_dist(point(i), new_c);
+                if d < *slot {
+                    *slot = d;
+                }
+            }
+        }
+
+        // --- Lloyd iterations --------------------------------------------
+        let mut assignments = vec![0u32; n];
+        let mut inertia = f64::INFINITY;
+        for _ in 0..Self::MAX_ITERS {
+            // Assignment step.
+            let mut new_inertia = 0.0;
+            let mut changed = false;
+            for (i, slot) in assignments.iter_mut().enumerate() {
+                let p = point(i);
+                let mut best_c = 0u32;
+                let mut best_d = f64::INFINITY;
+                for c in 0..k {
+                    let d = sq_dist(p, &centroids[c * dims..(c + 1) * dims]);
+                    if d < best_d {
+                        best_d = d;
+                        best_c = c as u32;
+                    }
+                }
+                if *slot != best_c {
+                    *slot = best_c;
+                    changed = true;
+                }
+                new_inertia += best_d;
+            }
+            inertia = new_inertia;
+            // Update step.
+            let mut sums = vec![0.0; k * dims];
+            let mut counts = vec![0usize; k];
+            for (i, &a) in assignments.iter().enumerate() {
+                let c = a as usize;
+                counts[c] += 1;
+                for (s, &v) in sums[c * dims..(c + 1) * dims].iter_mut().zip(point(i)) {
+                    *s += v;
+                }
+            }
+            for c in 0..k {
+                if counts[c] == 0 {
+                    // Empty cluster: restart it at the point farthest from
+                    // its centroid assignment.
+                    let far = (0..n)
+                        .max_by(|&a, &b| {
+                            let da = sq_dist(
+                                point(a),
+                                &centroids[assignments[a] as usize * dims
+                                    ..(assignments[a] as usize + 1) * dims],
+                            );
+                            let db = sq_dist(
+                                point(b),
+                                &centroids[assignments[b] as usize * dims
+                                    ..(assignments[b] as usize + 1) * dims],
+                            );
+                            da.partial_cmp(&db).expect("finite distances")
+                        })
+                        .expect("n > 0");
+                    centroids[c * dims..(c + 1) * dims].copy_from_slice(point(far));
+                    changed = true;
+                } else {
+                    for (slot, &s) in centroids[c * dims..(c + 1) * dims]
+                        .iter_mut()
+                        .zip(&sums[c * dims..(c + 1) * dims])
+                    {
+                        *slot = s / counts[c] as f64;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        Self {
+            dims,
+            centroids,
+            assignments,
+            inertia,
+        }
+    }
+
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.centroids.len() / self.dims
+    }
+
+    /// Number of dimensions.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Centroid of cluster `c`.
+    pub fn centroid(&self, c: usize) -> &[f64] {
+        &self.centroids[c * self.dims..(c + 1) * self.dims]
+    }
+
+    /// Cluster assignment of point `i`.
+    pub fn assignment(&self, i: usize) -> usize {
+        self.assignments[i] as usize
+    }
+
+    /// Point indices belonging to cluster `c`.
+    pub fn members(&self, c: usize) -> Vec<usize> {
+        self.assignments
+            .iter()
+            .enumerate()
+            .filter(|(_, &a)| a as usize == c)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Number of members in cluster `c`.
+    pub fn cluster_size(&self, c: usize) -> usize {
+        self.assignments
+            .iter()
+            .filter(|&&a| a as usize == c)
+            .count()
+    }
+
+    /// Sum of squared distances of points to their centroids.
+    pub fn inertia(&self) -> f64 {
+        self.inertia
+    }
+
+    /// L∞ radius of cluster `c` over `data` (the δ used to size sampling
+    /// areas around centroids, paper §3.1); 0 for singleton clusters.
+    pub fn radius_linf(&self, data: &[f64], c: usize) -> f64 {
+        let centroid = self.centroid(c);
+        let mut radius: f64 = 0.0;
+        for i in self.members(c) {
+            let p = &data[i * self.dims..(i + 1) * self.dims];
+            for (pv, cv) in p.iter().zip(centroid) {
+                radius = radius.max((pv - cv).abs());
+            }
+        }
+        radius
+    }
+
+    /// Bounding box of cluster `c`'s members, or `None` if empty (the
+    /// sampling area of the clustering-based misclassified phase, §4.2).
+    pub fn bounding_rect(&self, data: &[f64], c: usize) -> Option<Rect> {
+        let members = self.members(c);
+        let points: Vec<&[f64]> = members
+            .iter()
+            .map(|&i| &data[i * self.dims..(i + 1) * self.dims])
+            .collect();
+        Rect::bounding(&points)
+    }
+}
+
+#[inline]
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(&x, &y)| (x - y) * (x - y)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aide_util::rng::Xoshiro256pp;
+
+    /// Three tight blobs in 2-D.
+    fn blobs() -> (Vec<f64>, Vec<[f64; 2]>) {
+        let centers = vec![[10.0, 10.0], [80.0, 20.0], [50.0, 90.0]];
+        let mut rng = Xoshiro256pp::seed_from_u64(42);
+        let mut data = Vec::new();
+        for _ in 0..200 {
+            let c = centers[rng.index(3)];
+            data.push(c[0] + rng.uniform(-2.0, 2.0));
+            data.push(c[1] + rng.uniform(-2.0, 2.0));
+        }
+        (data, centers)
+    }
+
+    #[test]
+    fn recovers_well_separated_blobs() {
+        let (data, centers) = blobs();
+        let mut rng = Xoshiro256pp::seed_from_u64(7);
+        let km = KMeans::fit(2, &data, 3, &mut rng);
+        assert_eq!(km.k(), 3);
+        // Each true center has a centroid within 3 units.
+        for c in &centers {
+            let min_d = (0..3)
+                .map(|i| sq_dist(km.centroid(i), c).sqrt())
+                .fold(f64::INFINITY, f64::min);
+            assert!(min_d < 3.0, "no centroid near {c:?} (min {min_d})");
+        }
+        // Members are assigned to their nearest centroid.
+        let n = data.len() / 2;
+        for i in 0..n {
+            let p = &data[i * 2..i * 2 + 2];
+            let assigned = km.assignment(i);
+            for c in 0..3 {
+                assert!(sq_dist(p, km.centroid(assigned)) <= sq_dist(p, km.centroid(c)) + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn k_capped_at_number_of_points() {
+        let data = vec![1.0, 1.0, 2.0, 2.0];
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
+        let km = KMeans::fit(2, &data, 10, &mut rng);
+        assert_eq!(km.k(), 2);
+    }
+
+    #[test]
+    fn single_point_single_cluster() {
+        let data = vec![5.0, 6.0];
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
+        let km = KMeans::fit(2, &data, 1, &mut rng);
+        assert_eq!(km.k(), 1);
+        assert_eq!(km.centroid(0), &[5.0, 6.0]);
+        assert_eq!(km.assignment(0), 0);
+        assert_eq!(km.inertia(), 0.0);
+        assert_eq!(km.radius_linf(&data, 0), 0.0);
+    }
+
+    #[test]
+    fn identical_points_do_not_loop_forever() {
+        let data = vec![3.0; 20]; // ten identical 2-D points
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
+        let km = KMeans::fit(2, &data, 3, &mut rng);
+        assert!(km.k() <= 3);
+        assert_eq!(km.inertia(), 0.0);
+    }
+
+    #[test]
+    fn members_and_sizes_are_consistent() {
+        let (data, _) = blobs();
+        let mut rng = Xoshiro256pp::seed_from_u64(4);
+        let km = KMeans::fit(2, &data, 3, &mut rng);
+        let n = data.len() / 2;
+        let total: usize = (0..3).map(|c| km.cluster_size(c)).sum();
+        assert_eq!(total, n);
+        for c in 0..3 {
+            let members = km.members(c);
+            assert_eq!(members.len(), km.cluster_size(c));
+            for &i in &members {
+                assert_eq!(km.assignment(i), c);
+            }
+        }
+    }
+
+    #[test]
+    fn bounding_rect_covers_members() {
+        let (data, _) = blobs();
+        let mut rng = Xoshiro256pp::seed_from_u64(5);
+        let km = KMeans::fit(2, &data, 3, &mut rng);
+        for c in 0..3 {
+            let rect = km.bounding_rect(&data, c).unwrap();
+            for &i in &km.members(c) {
+                assert!(rect.contains(&data[i * 2..i * 2 + 2]));
+            }
+            // Blob radius 2 ⇒ bounding boxes stay small.
+            assert!(rect.width(0) <= 5.0);
+            assert!(rect.width(1) <= 5.0);
+        }
+    }
+
+    #[test]
+    fn radius_linf_bounds_members() {
+        let (data, _) = blobs();
+        let mut rng = Xoshiro256pp::seed_from_u64(6);
+        let km = KMeans::fit(2, &data, 3, &mut rng);
+        for c in 0..3 {
+            let r = km.radius_linf(&data, c);
+            let centroid = km.centroid(c).to_vec();
+            for &i in &km.members(c) {
+                let p = &data[i * 2..i * 2 + 2];
+                for (pv, cv) in p.iter().zip(&centroid) {
+                    assert!((pv - cv).abs() <= r + 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        let mut rng = Xoshiro256pp::seed_from_u64(0);
+        KMeans::fit(1, &[1.0], 0, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero points")]
+    fn zero_points_panics() {
+        let mut rng = Xoshiro256pp::seed_from_u64(0);
+        KMeans::fit(2, &[], 1, &mut rng);
+    }
+}

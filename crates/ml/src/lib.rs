@@ -1,0 +1,36 @@
+//! Machine-learning substrate for AIDE.
+//!
+//! The paper's authors used Weka; no equivalent mature Rust library fits
+//! the reproduction's determinism requirements, so the two algorithms AIDE
+//! needs are implemented from scratch:
+//!
+//! * [`DecisionTree`] — a CART classifier (Gini, binary numeric splits)
+//!   whose leaves translate into hyper-rectangles — the white-box property
+//!   AIDE's query formulation and boundary exploitation exploit (§2.2);
+//! * [`KMeans`] — Lloyd's algorithm with k-means++ seeding, used by the
+//!   skew-aware discovery and clustering-based misclassified phases;
+//! * [`ConfusionMatrix`] — precision / recall / F-measure (Eq. 1).
+//!
+//! ```
+//! use aide_ml::{DecisionTree, TreeParams};
+//! use aide_util::geom::Rect;
+//!
+//! // Relevant iff x <= 15: two points on each side suffice.
+//! let data = [0.0, 10.0, 20.0, 30.0];
+//! let labels = [true, true, false, false];
+//! let tree = DecisionTree::fit(1, &data, &labels, &TreeParams::default());
+//! assert!(tree.predict(&[5.0]));
+//! assert!(!tree.predict(&[25.0]));
+//! // The white-box property: the relevant leaf is a rectangle.
+//! let regions = tree.relevant_regions(&Rect::new(vec![0.0], vec![100.0]));
+//! assert_eq!(regions.len(), 1);
+//! assert_eq!((regions[0].lo(0), regions[0].hi(0)), (0.0, 15.0));
+//! ```
+
+pub mod dtree;
+pub mod kmeans;
+pub mod metrics;
+
+pub use dtree::{DecisionTree, SplitRule, TreeParams};
+pub use kmeans::KMeans;
+pub use metrics::ConfusionMatrix;

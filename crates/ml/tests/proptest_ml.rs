@@ -1,0 +1,142 @@
+//! Property-based tests for the CART tree and k-means invariants.
+
+use aide_ml::{ConfusionMatrix, DecisionTree, KMeans, TreeParams};
+use aide_util::geom::Rect;
+use proptest::prelude::*;
+
+/// Labeled 2-D points on a bounded lattice (duplicates allowed).
+fn training_strategy() -> impl Strategy<Value = (Vec<f64>, Vec<bool>)> {
+    proptest::collection::vec(((0u32..100), (0u32..100), any::<bool>()), 2..150).prop_map(
+        |points| {
+            let mut data = Vec::with_capacity(points.len() * 2);
+            let mut labels = Vec::with_capacity(points.len());
+            for (x, y, l) in points {
+                data.push(x as f64);
+                data.push(y as f64);
+                labels.push(l);
+            }
+            (data, labels)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The tree's leaf regions of both labels tile the bounding space:
+    /// every point belongs to exactly one region, and that region's label
+    /// matches `predict`.
+    #[test]
+    fn regions_partition_space_and_agree_with_predict((data, labels) in training_strategy()) {
+        let tree = DecisionTree::fit(2, &data, &labels, &TreeParams::default());
+        let bounds = Rect::new(vec![-1.0, -1.0], vec![101.0, 101.0]);
+        let relevant = tree.regions(true, &bounds);
+        let irrelevant = tree.regions(false, &bounds);
+        let vol: f64 = relevant.iter().chain(&irrelevant).map(Rect::volume).sum();
+        prop_assert!((vol - bounds.volume()).abs() < 1e-6 * bounds.volume());
+        // Check agreement on a probe grid.
+        for gx in 0..10 {
+            for gy in 0..10 {
+                // Offset chosen so probes never coincide with a split
+                // threshold (midpoints of integer coordinates are .0/.5).
+                let p = [gx as f64 * 10.0 + 0.37, gy as f64 * 10.0 + 0.37];
+                let in_relevant = relevant.iter().any(|r| r.contains(&p));
+                prop_assert_eq!(in_relevant, tree.predict(&p), "probe {:?}", p);
+            }
+        }
+    }
+
+    /// With unconstrained induction, training accuracy is perfect unless
+    /// two identical points carry contradicting labels.
+    #[test]
+    fn unconstrained_tree_fits_consistent_data((data, labels) in training_strategy()) {
+        // De-duplicate contradictions: keep first label per location.
+        let mut seen = std::collections::HashMap::new();
+        let mut d = Vec::new();
+        let mut l = Vec::new();
+        for (i, &label) in labels.iter().enumerate() {
+            let key = (data[i * 2] as i64, data[i * 2 + 1] as i64);
+            if seen.insert(key, label).is_none() {
+                d.extend_from_slice(&data[i * 2..i * 2 + 2]);
+                l.push(label);
+            }
+        }
+        let params = TreeParams {
+            min_samples_leaf: 1,
+            min_samples_split: 2,
+            // Pathological label arrangements can need one split per
+            // point, so the depth cap must exceed the sample count; and
+            // XOR-like patterns have zero first-split gain, so zero-gain
+            // splits must be allowed for an exact fit.
+            max_depth: 256,
+            min_gain: 0.0,
+            ..TreeParams::default()
+        };
+        let tree = DecisionTree::fit(2, &d, &l, &params);
+        for i in 0..l.len() {
+            prop_assert_eq!(tree.predict(&d[i * 2..i * 2 + 2]), l[i]);
+        }
+    }
+
+    /// Pruning never increases the number of leaves, and a stronger alpha
+    /// prunes at least as much.
+    #[test]
+    fn pruning_is_monotone((data, labels) in training_strategy(), alpha in 0.0f64..0.2) {
+        let tree = DecisionTree::fit(2, &data, &labels, &TreeParams::default());
+        let mut weak = tree.clone();
+        weak.prune(alpha);
+        let mut strong = tree.clone();
+        strong.prune(alpha * 2.0 + 0.01);
+        prop_assert!(weak.num_leaves() <= tree.num_leaves());
+        prop_assert!(strong.num_leaves() <= weak.num_leaves());
+    }
+
+    /// Feature importances are a probability vector (or all zero).
+    #[test]
+    fn importances_are_normalized((data, labels) in training_strategy()) {
+        let tree = DecisionTree::fit(2, &data, &labels, &TreeParams::default());
+        let imp = tree.feature_importances();
+        prop_assert_eq!(imp.len(), 2);
+        let total: f64 = imp.iter().sum();
+        prop_assert!(imp.iter().all(|&v| v >= 0.0));
+        prop_assert!(total.abs() < 1e-9 || (total - 1.0).abs() < 1e-9);
+    }
+
+    /// k-means invariants: assignments point at the nearest centroid and
+    /// every cluster id is within range.
+    #[test]
+    fn kmeans_assigns_nearest_centroid(
+        points in proptest::collection::vec((0.0f64..100.0, 0.0f64..100.0), 1..120),
+        k in 1usize..10,
+        seed in any::<u64>(),
+    ) {
+        let data: Vec<f64> = points.iter().flat_map(|&(x, y)| [x, y]).collect();
+        let mut rng = aide_util::rng::Xoshiro256pp::seed_from_u64(seed);
+        let km = KMeans::fit(2, &data, k, &mut rng);
+        prop_assert!(km.k() <= k.min(points.len()));
+        let sq = |a: &[f64], b: &[f64]| -> f64 {
+            a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+        };
+        for (i, &(x, y)) in points.iter().enumerate() {
+            let p = [x, y];
+            let assigned = km.assignment(i);
+            prop_assert!(assigned < km.k());
+            let d_assigned = sq(&p, km.centroid(assigned));
+            for c in 0..km.k() {
+                prop_assert!(d_assigned <= sq(&p, km.centroid(c)) + 1e-9);
+            }
+        }
+    }
+
+    /// F-measure is symmetric in the harmonic-mean sense and bounded.
+    #[test]
+    fn f_measure_is_bounded(pairs in proptest::collection::vec((any::<bool>(), any::<bool>()), 0..200)) {
+        let m = ConfusionMatrix::from_pairs(pairs.clone());
+        let f = m.f_measure();
+        prop_assert!((0.0..=1.0).contains(&f));
+        prop_assert!(f <= m.precision().max(m.recall()) + 1e-12);
+        if m.precision() > 0.0 && m.recall() > 0.0 {
+            prop_assert!(f >= m.precision().min(m.recall()) - 1e-12);
+        }
+    }
+}

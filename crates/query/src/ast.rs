@@ -1,0 +1,420 @@
+//! Range-selection query AST.
+//!
+//! AIDE's output is a *data extraction query*: the relevant leaves of the
+//! decision tree become a disjunction of conjunctions of range predicates
+//! (paper §2.2 walks through the Figure 2 example:
+//! `select * from table where (age <= 20 and dosage > 10 and dosage <= 15)
+//! or (age > 20 and age <= 40 and dosage >= 0 and dosage <= 10)`).
+//! [`Selection`] is that query in DNF; [`Selection::from_regions`]
+//! performs the tree → query translation, dropping predicates that merely
+//! restate an attribute's domain (as the paper does).
+
+use aide_data::view::Domain;
+use aide_data::{DataType, Table};
+use aide_util::geom::Rect;
+
+use crate::error::{QueryError, Result};
+
+/// Comparison operator of a range predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// Strictly less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Strictly greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+    /// Equal.
+    Eq,
+}
+
+impl CmpOp {
+    /// Applies the operator.
+    #[inline]
+    pub fn eval(self, lhs: f64, rhs: f64) -> bool {
+        match self {
+            CmpOp::Lt => lhs < rhs,
+            CmpOp::Le => lhs <= rhs,
+            CmpOp::Gt => lhs > rhs,
+            CmpOp::Ge => lhs >= rhs,
+            CmpOp::Eq => lhs == rhs,
+        }
+    }
+
+    /// SQL spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::Eq => "=",
+        }
+    }
+}
+
+/// `attr op value` over a numeric column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Attribute name.
+    pub attr: String,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Literal to compare against.
+    pub value: f64,
+}
+
+impl Comparison {
+    /// Creates a comparison.
+    pub fn new(attr: impl Into<String>, op: CmpOp, value: f64) -> Self {
+        Self {
+            attr: attr.into(),
+            op,
+            value,
+        }
+    }
+}
+
+/// A conjunction of comparisons. An empty conjunction is `TRUE`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Conjunction {
+    /// The AND-ed comparisons.
+    pub terms: Vec<Comparison>,
+}
+
+impl Conjunction {
+    /// Creates a conjunction from its terms.
+    pub fn new(terms: Vec<Comparison>) -> Self {
+        Self { terms }
+    }
+}
+
+/// `SELECT * FROM table WHERE d_1 OR d_2 OR ...` in disjunctive normal
+/// form. No disjuncts means `WHERE FALSE` (an empty result: the model has
+/// found no relevant areas yet).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Selection {
+    /// Target table name.
+    pub table: String,
+    /// OR-ed conjunctions.
+    pub disjuncts: Vec<Conjunction>,
+}
+
+impl Selection {
+    /// Creates a selection.
+    pub fn new(table: impl Into<String>, disjuncts: Vec<Conjunction>) -> Self {
+        Self {
+            table: table.into(),
+            disjuncts,
+        }
+    }
+
+    /// Translates decision-tree regions into a query.
+    ///
+    /// `rects` are relevant regions in *raw* attribute coordinates (use
+    /// [`SpaceMapper::denormalize_rect`](aide_data::SpaceMapper::denormalize_rect)
+    /// first); `attrs`/`domains` give each dimension's name and raw
+    /// domain. Bounds that coincide with the domain edge are omitted,
+    /// mirroring the paper's treatment of out-of-domain predicates.
+    pub fn from_regions(
+        table: impl Into<String>,
+        attrs: &[String],
+        domains: &[Domain],
+        rects: &[Rect],
+    ) -> Self {
+        assert_eq!(attrs.len(), domains.len(), "attrs/domains mismatch");
+        let disjuncts = rects
+            .iter()
+            .map(|rect| {
+                assert_eq!(rect.dims(), attrs.len(), "rect dimensionality mismatch");
+                let mut terms = Vec::new();
+                for (d, (attr, dom)) in attrs.iter().zip(domains).enumerate() {
+                    // Tolerance: a bound within 1e-9 of the domain edge is
+                    // the edge (normalization round-trips introduce dust).
+                    let eps = 1e-9 * dom.width().max(1.0);
+                    if rect.lo(d) > dom.lo() + eps {
+                        terms.push(Comparison::new(attr.clone(), CmpOp::Ge, rect.lo(d)));
+                    }
+                    if rect.hi(d) < dom.hi() - eps {
+                        terms.push(Comparison::new(attr.clone(), CmpOp::Le, rect.hi(d)));
+                    }
+                }
+                Conjunction::new(terms)
+            })
+            .collect();
+        Self {
+            table: table.into(),
+            disjuncts,
+        }
+    }
+
+    /// Renders the query as SQL.
+    pub fn to_sql(&self) -> String {
+        let mut sql = format!("SELECT * FROM {}", self.table);
+        if self.disjuncts.is_empty() {
+            sql.push_str(" WHERE FALSE");
+            return sql;
+        }
+        if self.disjuncts.iter().any(|c| c.terms.is_empty()) {
+            // Some disjunct is TRUE: the whole predicate is TRUE.
+            return sql;
+        }
+        sql.push_str(" WHERE ");
+        let rendered: Vec<String> = self
+            .disjuncts
+            .iter()
+            .map(|c| {
+                let terms: Vec<String> = c
+                    .terms
+                    .iter()
+                    .map(|t| format!("{} {} {}", t.attr, t.op.as_str(), fmt_num(t.value)))
+                    .collect();
+                format!("({})", terms.join(" AND "))
+            })
+            .collect();
+        sql.push_str(&rendered.join(" OR "));
+        sql
+    }
+
+    /// Validates attribute references against a table and resolves column
+    /// indices for fast evaluation.
+    pub fn compile(&self, table: &Table) -> Result<CompiledSelection> {
+        if self.table != table.name() {
+            return Err(QueryError::TableMismatch {
+                expected: self.table.clone(),
+                actual: table.name().to_owned(),
+            });
+        }
+        let schema = table.schema();
+        let disjuncts = self
+            .disjuncts
+            .iter()
+            .map(|conj| {
+                conj.terms
+                    .iter()
+                    .map(|t| {
+                        let col = schema
+                            .index_of(&t.attr)
+                            .map_err(|_| QueryError::UnknownAttr(t.attr.clone()))?;
+                        if schema.field(col).dtype() == DataType::Text {
+                            return Err(QueryError::NonNumeric(t.attr.clone()));
+                        }
+                        Ok(CompiledTerm {
+                            col,
+                            op: t.op,
+                            value: t.value,
+                        })
+                    })
+                    .collect::<Result<Vec<_>>>()
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(CompiledSelection { disjuncts })
+    }
+
+    /// Evaluates the query, returning matching row indices.
+    pub fn evaluate(&self, table: &Table) -> Result<Vec<usize>> {
+        let compiled = self.compile(table)?;
+        Ok((0..table.num_rows())
+            .filter(|&row| compiled.matches(table, row))
+            .collect())
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct CompiledTerm {
+    col: usize,
+    op: CmpOp,
+    value: f64,
+}
+
+/// A [`Selection`] with attribute names resolved to column indices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledSelection {
+    disjuncts: Vec<Vec<CompiledTerm>>,
+}
+
+impl CompiledSelection {
+    /// Whether `row` of `table` satisfies the predicate.
+    pub fn matches(&self, table: &Table, row: usize) -> bool {
+        self.disjuncts.iter().any(|conj| {
+            conj.iter().all(|t| {
+                let v = table
+                    .column(t.col)
+                    .f64_at(row)
+                    .expect("compile() rejected non-numeric columns");
+                t.op.eval(v, t.value)
+            })
+        })
+    }
+}
+
+/// Formats a float without trailing noise (`15` rather than `15.0`) while
+/// staying lossless: Rust's `{}` prints the shortest decimal string that
+/// parses back to the same `f64`, so rendered queries round-trip exactly.
+fn fmt_num(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aide_data::{Schema, TableBuilder, Value};
+
+    fn trials() -> Table {
+        let schema = Schema::from_pairs(&[
+            ("age", DataType::Float),
+            ("dosage", DataType::Float),
+            ("note", DataType::Text),
+        ])
+        .unwrap();
+        let mut b = TableBuilder::new("trials", schema);
+        for (age, dosage) in [
+            (15.0, 12.0),
+            (30.0, 5.0),
+            (15.0, 5.0),
+            (30.0, 12.0),
+            (45.0, 7.0),
+        ] {
+            b.push_row(vec![
+                Value::Float(age),
+                Value::Float(dosage),
+                Value::from("n"),
+            ])
+            .unwrap();
+        }
+        b.finish()
+    }
+
+    /// The paper's Figure 2 query.
+    fn figure2_query() -> Selection {
+        Selection::new(
+            "trials",
+            vec![
+                Conjunction::new(vec![
+                    Comparison::new("age", CmpOp::Le, 20.0),
+                    Comparison::new("dosage", CmpOp::Gt, 10.0),
+                    Comparison::new("dosage", CmpOp::Le, 15.0),
+                ]),
+                Conjunction::new(vec![
+                    Comparison::new("age", CmpOp::Gt, 20.0),
+                    Comparison::new("age", CmpOp::Le, 40.0),
+                    Comparison::new("dosage", CmpOp::Le, 10.0),
+                ]),
+            ],
+        )
+    }
+
+    #[test]
+    fn figure2_query_evaluates_correctly() {
+        let rows = figure2_query().evaluate(&trials()).unwrap();
+        // Row 0 (15, 12): first disjunct. Row 1 (30, 5): second.
+        // Row 2 (15, 5): neither. Row 3 (30, 12): neither.
+        // Row 4 (45, 7): age > 40 — neither.
+        assert_eq!(rows, vec![0, 1]);
+    }
+
+    #[test]
+    fn sql_rendering_matches_expected_shape() {
+        let sql = figure2_query().to_sql();
+        assert_eq!(
+            sql,
+            "SELECT * FROM trials WHERE (age <= 20 AND dosage > 10 AND dosage <= 15) \
+             OR (age > 20 AND age <= 40 AND dosage <= 10)"
+        );
+    }
+
+    #[test]
+    fn empty_disjunction_is_false_and_empty_conjunction_is_true() {
+        let none = Selection::new("trials", vec![]);
+        assert_eq!(none.to_sql(), "SELECT * FROM trials WHERE FALSE");
+        assert!(none.evaluate(&trials()).unwrap().is_empty());
+
+        let all = Selection::new("trials", vec![Conjunction::default()]);
+        assert_eq!(all.to_sql(), "SELECT * FROM trials");
+        assert_eq!(all.evaluate(&trials()).unwrap().len(), 5);
+    }
+
+    #[test]
+    fn from_regions_drops_domain_edge_bounds() {
+        let attrs = vec!["age".to_owned(), "dosage".to_owned()];
+        let domains = vec![Domain::new(0.0, 100.0), Domain::new(0.0, 15.0)];
+        let rects = vec![
+            Rect::new(vec![20.0, 0.0], vec![40.0, 10.0]),
+            Rect::new(vec![0.0, 12.0], vec![100.0, 15.0]),
+        ];
+        let q = Selection::from_regions("trials", &attrs, &domains, &rects);
+        // First rect: dosage lower bound 0 = domain edge → dropped.
+        assert_eq!(
+            q.disjuncts[0].terms,
+            vec![
+                Comparison::new("age", CmpOp::Ge, 20.0),
+                Comparison::new("age", CmpOp::Le, 40.0),
+                Comparison::new("dosage", CmpOp::Le, 10.0),
+            ]
+        );
+        // Second rect: age spans the whole domain → only dosage >= 12.
+        assert_eq!(
+            q.disjuncts[1].terms,
+            vec![Comparison::new("dosage", CmpOp::Ge, 12.0)]
+        );
+    }
+
+    #[test]
+    fn compile_rejects_bad_references() {
+        let t = trials();
+        let q = Selection::new(
+            "trials",
+            vec![Conjunction::new(vec![Comparison::new(
+                "nope",
+                CmpOp::Le,
+                1.0,
+            )])],
+        );
+        assert_eq!(
+            q.compile(&t).unwrap_err(),
+            QueryError::UnknownAttr("nope".into())
+        );
+        let q = Selection::new(
+            "trials",
+            vec![Conjunction::new(vec![Comparison::new(
+                "note",
+                CmpOp::Le,
+                1.0,
+            )])],
+        );
+        assert_eq!(
+            q.compile(&t).unwrap_err(),
+            QueryError::NonNumeric("note".into())
+        );
+        let q = Selection::new("other", vec![]);
+        assert!(matches!(
+            q.compile(&t).unwrap_err(),
+            QueryError::TableMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn number_formatting_is_clean() {
+        assert_eq!(fmt_num(15.0), "15");
+        assert_eq!(fmt_num(-3.0), "-3");
+        assert_eq!(fmt_num(2.5), "2.5");
+        assert_eq!(fmt_num(0.125), "0.125");
+    }
+
+    #[test]
+    fn cmp_op_semantics() {
+        assert!(CmpOp::Lt.eval(1.0, 2.0));
+        assert!(!CmpOp::Lt.eval(2.0, 2.0));
+        assert!(CmpOp::Le.eval(2.0, 2.0));
+        assert!(CmpOp::Gt.eval(3.0, 2.0));
+        assert!(CmpOp::Ge.eval(2.0, 2.0));
+        assert!(CmpOp::Eq.eval(2.0, 2.0));
+        assert!(!CmpOp::Eq.eval(2.0, 2.1));
+    }
+}

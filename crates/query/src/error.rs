@@ -1,0 +1,51 @@
+//! Error type for the query layer.
+
+use std::fmt;
+
+/// Errors raised while parsing, validating or evaluating queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// Syntax error while parsing SQL.
+    Parse {
+        /// Byte offset into the input where the error was detected.
+        position: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// The query references an attribute the table does not have.
+    UnknownAttr(String),
+    /// A range predicate targets a non-numeric column.
+    NonNumeric(String),
+    /// The query targets a different table than the one being evaluated.
+    TableMismatch {
+        /// Table named in the query.
+        expected: String,
+        /// Table supplied for evaluation.
+        actual: String,
+    },
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Parse { position, message } => {
+                write!(f, "parse error at byte {position}: {message}")
+            }
+            QueryError::UnknownAttr(a) => write!(f, "unknown attribute `{a}`"),
+            QueryError::NonNumeric(a) => {
+                write!(
+                    f,
+                    "attribute `{a}` is not numeric; range predicates need numbers"
+                )
+            }
+            QueryError::TableMismatch { expected, actual } => {
+                write!(f, "query targets table `{expected}` but got `{actual}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// Convenience alias for results in the query layer.
+pub type Result<T> = std::result::Result<T, QueryError>;

@@ -1,0 +1,30 @@
+//! Query layer for AIDE.
+//!
+//! The end product of an AIDE exploration is a *data extraction query*: a
+//! disjunction of range-predicate conjunctions derived from the decision
+//! tree's relevant leaves (paper §2.2). This crate provides that query as
+//! an AST ([`Selection`]) with evaluation over tables, SQL rendering
+//! ([`Selection::to_sql`]) and a parser for the supported SQL subset
+//! ([`parse_selection`]), so predicted queries round-trip through text.
+//!
+//! ```
+//! use aide_query::{parse_selection, simplify};
+//!
+//! let q = parse_selection(
+//!     "SELECT * FROM trials WHERE age > 20 AND age <= 40 AND age > 25",
+//! ).expect("well-formed SQL");
+//! assert_eq!(
+//!     simplify(&q).to_sql(),
+//!     "SELECT * FROM trials WHERE (age > 25 AND age <= 40)",
+//! );
+//! ```
+
+pub mod ast;
+pub mod error;
+pub mod parse;
+pub mod simplify;
+
+pub use ast::{CmpOp, Comparison, CompiledSelection, Conjunction, Selection};
+pub use error::{QueryError, Result};
+pub use parse::parse_selection;
+pub use simplify::simplify;

@@ -1,0 +1,504 @@
+//! A small SQL parser for the supported selection subset.
+//!
+//! Grammar (case-insensitive keywords):
+//!
+//! ```text
+//! query      := SELECT '*' FROM ident [ WHERE expr ]
+//! expr       := and_expr ( OR and_expr )*
+//! and_expr   := primary ( AND primary )*
+//! primary    := comparison | between | TRUE | FALSE | '(' expr ')'
+//! comparison := ident op number | number op ident
+//! between    := ident BETWEEN number AND number
+//! op         := '<' | '<=' | '>' | '>=' | '='
+//! ```
+//!
+//! The parser builds an expression tree and normalizes it to DNF, which is
+//! the form [`Selection`] stores; round-tripping AIDE's own rendered
+//! queries is lossless.
+
+use crate::ast::{CmpOp, Comparison, Conjunction, Selection};
+use crate::error::{QueryError, Result};
+
+/// Parses a `SELECT * FROM ... [WHERE ...]` statement.
+pub fn parse_selection(input: &str) -> Result<Selection> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    p.expect_keyword("select")?;
+    p.expect_symbol("*")?;
+    p.expect_keyword("from")?;
+    let table = p.expect_ident()?;
+    let disjuncts = if p.peek_keyword("where") {
+        p.advance();
+        let expr = p.parse_or()?;
+        p.expect_end()?;
+        expr.into_dnf()
+    } else {
+        p.expect_end()?;
+        vec![Conjunction::default()] // no WHERE = TRUE
+    };
+    Ok(Selection::new(table, disjuncts))
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Number(f64),
+    Symbol(&'static str),
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct Spanned {
+    token: Token,
+    position: usize,
+}
+
+fn tokenize(input: &str) -> Result<Vec<Spanned>> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        match c {
+            '(' | ')' | '*' | ',' | ';' | '=' => {
+                let sym = match c {
+                    '(' => "(",
+                    ')' => ")",
+                    '*' => "*",
+                    ',' => ",",
+                    ';' => ";",
+                    _ => "=",
+                };
+                out.push(Spanned {
+                    token: Token::Symbol(sym),
+                    position: start,
+                });
+                i += 1;
+            }
+            '<' | '>' => {
+                let two = i + 1 < bytes.len() && bytes[i + 1] == b'=';
+                let sym = match (c, two) {
+                    ('<', true) => "<=",
+                    ('<', false) => "<",
+                    ('>', true) => ">=",
+                    _ => ">",
+                };
+                out.push(Spanned {
+                    token: Token::Symbol(sym),
+                    position: start,
+                });
+                i += if two { 2 } else { 1 };
+            }
+            _ if c.is_ascii_digit() || c == '-' || c == '.' => {
+                let mut j = i + 1;
+                while j < bytes.len()
+                    && (bytes[j].is_ascii_digit()
+                        || bytes[j] == b'.'
+                        || bytes[j] == b'e'
+                        || bytes[j] == b'E'
+                        || (j > i
+                            && (bytes[j] == b'-' || bytes[j] == b'+')
+                            && matches!(bytes[j - 1], b'e' | b'E')))
+                {
+                    j += 1;
+                }
+                let text = &input[i..j];
+                let value = text.parse::<f64>().map_err(|_| QueryError::Parse {
+                    position: start,
+                    message: format!("bad number `{text}`"),
+                })?;
+                out.push(Spanned {
+                    token: Token::Number(value),
+                    position: start,
+                });
+                i = j;
+            }
+            _ if c.is_ascii_alphabetic() || c == '_' => {
+                let mut j = i + 1;
+                while j < bytes.len()
+                    && ((bytes[j] as char).is_ascii_alphanumeric() || bytes[j] == b'_')
+                {
+                    j += 1;
+                }
+                out.push(Spanned {
+                    token: Token::Ident(input[i..j].to_owned()),
+                    position: start,
+                });
+                i = j;
+            }
+            _ => {
+                return Err(QueryError::Parse {
+                    position: start,
+                    message: format!("unexpected character `{c}`"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Boolean expression tree prior to DNF normalization.
+#[derive(Debug, Clone, PartialEq)]
+enum Expr {
+    Cmp(Comparison),
+    Const(bool),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Normalizes to DNF: a list of conjunctions (empty list = FALSE,
+    /// a conjunction with no terms = TRUE).
+    fn into_dnf(self) -> Vec<Conjunction> {
+        match self {
+            Expr::Cmp(c) => vec![Conjunction::new(vec![c])],
+            Expr::Const(true) => vec![Conjunction::default()],
+            Expr::Const(false) => vec![],
+            Expr::Or(a, b) => {
+                let mut out = a.into_dnf();
+                out.extend(b.into_dnf());
+                out
+            }
+            Expr::And(a, b) => {
+                let left = a.into_dnf();
+                let right = b.into_dnf();
+                let mut out = Vec::with_capacity(left.len() * right.len());
+                for l in &left {
+                    for r in &right {
+                        let mut terms = l.terms.clone();
+                        terms.extend(r.terms.iter().cloned());
+                        out.push(Conjunction::new(terms));
+                    }
+                }
+                out
+            }
+        }
+    }
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Spanned> {
+        self.tokens.get(self.pos)
+    }
+
+    fn advance(&mut self) {
+        self.pos += 1;
+    }
+
+    fn error_here(&self, message: impl Into<String>) -> QueryError {
+        QueryError::Parse {
+            position: self.peek().map(|s| s.position).unwrap_or(usize::MAX),
+            message: message.into(),
+        }
+    }
+
+    fn peek_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Spanned { token: Token::Ident(s), .. }) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        if self.peek_keyword(kw) {
+            self.advance();
+            Ok(())
+        } else {
+            Err(self.error_here(format!("expected `{}`", kw.to_uppercase())))
+        }
+    }
+
+    fn expect_symbol(&mut self, sym: &str) -> Result<()> {
+        match self.peek() {
+            Some(Spanned {
+                token: Token::Symbol(s),
+                ..
+            }) if *s == sym => {
+                self.advance();
+                Ok(())
+            }
+            _ => Err(self.error_here(format!("expected `{sym}`"))),
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String> {
+        match self.peek() {
+            Some(Spanned {
+                token: Token::Ident(s),
+                ..
+            }) => {
+                let s = s.clone();
+                self.advance();
+                Ok(s)
+            }
+            _ => Err(self.error_here("expected identifier")),
+        }
+    }
+
+    fn expect_number(&mut self) -> Result<f64> {
+        match self.peek() {
+            Some(Spanned {
+                token: Token::Number(v),
+                ..
+            }) => {
+                let v = *v;
+                self.advance();
+                Ok(v)
+            }
+            _ => Err(self.error_here("expected number")),
+        }
+    }
+
+    fn expect_end(&mut self) -> Result<()> {
+        // Allow one trailing semicolon.
+        if matches!(
+            self.peek(),
+            Some(Spanned {
+                token: Token::Symbol(";"),
+                ..
+            })
+        ) {
+            self.advance();
+        }
+        if self.peek().is_some() {
+            Err(self.error_here("unexpected trailing input"))
+        } else {
+            Ok(())
+        }
+    }
+
+    fn parse_or(&mut self) -> Result<Expr> {
+        let mut left = self.parse_and()?;
+        while self.peek_keyword("or") {
+            self.advance();
+            let right = self.parse_and()?;
+            left = Expr::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr> {
+        let mut left = self.parse_primary()?;
+        while self.peek_keyword("and") {
+            self.advance();
+            let right = self.parse_primary()?;
+            left = Expr::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr> {
+        match self.peek().cloned() {
+            Some(Spanned {
+                token: Token::Symbol("("),
+                ..
+            }) => {
+                self.advance();
+                let inner = self.parse_or()?;
+                self.expect_symbol(")")?;
+                Ok(inner)
+            }
+            Some(Spanned {
+                token: Token::Ident(name),
+                ..
+            }) if name.eq_ignore_ascii_case("true") => {
+                self.advance();
+                Ok(Expr::Const(true))
+            }
+            Some(Spanned {
+                token: Token::Ident(name),
+                ..
+            }) if name.eq_ignore_ascii_case("false") => {
+                self.advance();
+                Ok(Expr::Const(false))
+            }
+            Some(Spanned {
+                token: Token::Ident(name),
+                ..
+            }) => {
+                self.advance();
+                if self.peek_keyword("between") {
+                    self.advance();
+                    let lo = self.expect_number()?;
+                    self.expect_keyword("and")?;
+                    let hi = self.expect_number()?;
+                    return Ok(Expr::And(
+                        Box::new(Expr::Cmp(Comparison::new(name.clone(), CmpOp::Ge, lo))),
+                        Box::new(Expr::Cmp(Comparison::new(name, CmpOp::Le, hi))),
+                    ));
+                }
+                let op = self.expect_op()?;
+                let value = self.expect_number()?;
+                Ok(Expr::Cmp(Comparison::new(name, op, value)))
+            }
+            Some(Spanned {
+                token: Token::Number(value),
+                ..
+            }) => {
+                // `5 < attr` — flip into attribute-first form.
+                self.advance();
+                let op = self.expect_op()?;
+                let name = self.expect_ident()?;
+                let flipped = match op {
+                    CmpOp::Lt => CmpOp::Gt,
+                    CmpOp::Le => CmpOp::Ge,
+                    CmpOp::Gt => CmpOp::Lt,
+                    CmpOp::Ge => CmpOp::Le,
+                    CmpOp::Eq => CmpOp::Eq,
+                };
+                Ok(Expr::Cmp(Comparison::new(name, flipped, value)))
+            }
+            _ => Err(self.error_here("expected predicate")),
+        }
+    }
+
+    fn expect_op(&mut self) -> Result<CmpOp> {
+        let op = match self.peek() {
+            Some(Spanned {
+                token: Token::Symbol(s),
+                ..
+            }) => match *s {
+                "<" => Some(CmpOp::Lt),
+                "<=" => Some(CmpOp::Le),
+                ">" => Some(CmpOp::Gt),
+                ">=" => Some(CmpOp::Ge),
+                "=" => Some(CmpOp::Eq),
+                _ => None,
+            },
+            _ => None,
+        };
+        match op {
+            Some(op) => {
+                self.advance();
+                Ok(op)
+            }
+            None => Err(self.error_here("expected comparison operator")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_papers_example_query() {
+        let sql = "select * from trials where (age <= 20 and dosage > 10 and dosage <= 15) \
+                   or (age > 20 and age <= 40 and dosage >= 0 and dosage <= 10)";
+        let q = parse_selection(sql).unwrap();
+        assert_eq!(q.table, "trials");
+        assert_eq!(q.disjuncts.len(), 2);
+        assert_eq!(q.disjuncts[0].terms.len(), 3);
+        assert_eq!(q.disjuncts[1].terms.len(), 4);
+        assert_eq!(
+            q.disjuncts[0].terms[0],
+            Comparison::new("age", CmpOp::Le, 20.0)
+        );
+    }
+
+    #[test]
+    fn round_trips_rendered_sql() {
+        let sql = "SELECT * FROM t WHERE (a >= 1 AND a <= 5) OR (b > 2.5)";
+        let q = parse_selection(sql).unwrap();
+        let q2 = parse_selection(&q.to_sql()).unwrap();
+        assert_eq!(q, q2);
+    }
+
+    #[test]
+    fn no_where_clause_selects_everything() {
+        let q = parse_selection("SELECT * FROM photoobjall").unwrap();
+        assert_eq!(q.disjuncts, vec![Conjunction::default()]);
+        let q = parse_selection("select * from t;").unwrap();
+        assert_eq!(q.table, "t");
+    }
+
+    #[test]
+    fn where_false_and_true() {
+        let q = parse_selection("SELECT * FROM t WHERE FALSE").unwrap();
+        assert!(q.disjuncts.is_empty());
+        let q = parse_selection("SELECT * FROM t WHERE TRUE").unwrap();
+        assert_eq!(q.disjuncts, vec![Conjunction::default()]);
+    }
+
+    #[test]
+    fn between_desugars_to_two_comparisons() {
+        let q = parse_selection("SELECT * FROM t WHERE x BETWEEN 1 AND 5 AND y < 3").unwrap();
+        assert_eq!(q.disjuncts.len(), 1);
+        assert_eq!(
+            q.disjuncts[0].terms,
+            vec![
+                Comparison::new("x", CmpOp::Ge, 1.0),
+                Comparison::new("x", CmpOp::Le, 5.0),
+                Comparison::new("y", CmpOp::Lt, 3.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn number_first_comparisons_flip() {
+        let q = parse_selection("SELECT * FROM t WHERE 10 < age").unwrap();
+        assert_eq!(
+            q.disjuncts[0].terms,
+            vec![Comparison::new("age", CmpOp::Gt, 10.0)]
+        );
+        let q = parse_selection("SELECT * FROM t WHERE 10 >= age").unwrap();
+        assert_eq!(
+            q.disjuncts[0].terms,
+            vec![Comparison::new("age", CmpOp::Le, 10.0)]
+        );
+    }
+
+    #[test]
+    fn nested_parentheses_distribute_to_dnf() {
+        let q = parse_selection("SELECT * FROM t WHERE a < 1 AND (b < 2 OR c < 3)").unwrap();
+        assert_eq!(q.disjuncts.len(), 2);
+        assert_eq!(
+            q.disjuncts[0].terms,
+            vec![
+                Comparison::new("a", CmpOp::Lt, 1.0),
+                Comparison::new("b", CmpOp::Lt, 2.0),
+            ]
+        );
+        assert_eq!(
+            q.disjuncts[1].terms,
+            vec![
+                Comparison::new("a", CmpOp::Lt, 1.0),
+                Comparison::new("c", CmpOp::Lt, 3.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn negative_and_scientific_numbers() {
+        let q = parse_selection("SELECT * FROM t WHERE x >= -2.5 AND y < 1e3").unwrap();
+        assert_eq!(q.disjuncts[0].terms[0].value, -2.5);
+        assert_eq!(q.disjuncts[0].terms[1].value, 1000.0);
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        let err = parse_selection("SELECT * FROM").unwrap_err();
+        assert!(matches!(err, QueryError::Parse { .. }));
+        let err = parse_selection("SELECT * FROM t WHERE age <>").unwrap_err();
+        assert!(matches!(err, QueryError::Parse { .. }));
+        let err = parse_selection("SELECT * FROM t WHERE @").unwrap_err();
+        match err {
+            QueryError::Parse { position, .. } => assert_eq!(position, 22),
+            other => panic!("unexpected {other:?}"),
+        }
+        let err = parse_selection("SELECT * FROM t extra").unwrap_err();
+        assert!(matches!(err, QueryError::Parse { .. }));
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let q = parse_selection("SeLeCt * FrOm t WhErE a < 1 aNd b > 2 Or c = 3").unwrap();
+        assert_eq!(q.disjuncts.len(), 2);
+    }
+}

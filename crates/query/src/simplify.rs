@@ -1,0 +1,231 @@
+//! Query simplification.
+//!
+//! User-written queries (and machine-generated ones after a few rounds of
+//! editing) accumulate redundancy: `a >= 1 AND a >= 2`, contradictory
+//! bounds, duplicate disjuncts. [`simplify`] normalizes a [`Selection`]
+//! into an equivalent minimal form:
+//!
+//! * per attribute, all comparisons in a conjunction collapse into one
+//!   interval (tightest bounds win);
+//! * contradictory conjunctions (`a > 5 AND a < 3`) are dropped;
+//! * `=` folds into a degenerate interval and participates in
+//!   contradiction detection;
+//! * duplicate disjuncts are removed.
+//!
+//! The result evaluates identically on every table (see the property
+//! tests in `tests/proptest_sql.rs`).
+
+use std::collections::BTreeMap;
+
+use crate::ast::{CmpOp, Comparison, Conjunction, Selection};
+
+/// One attribute's accumulated interval constraint.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Interval {
+    lo: f64,
+    lo_strict: bool,
+    hi: f64,
+    hi_strict: bool,
+}
+
+impl Interval {
+    fn unbounded() -> Self {
+        Self {
+            lo: f64::NEG_INFINITY,
+            lo_strict: false,
+            hi: f64::INFINITY,
+            hi_strict: false,
+        }
+    }
+
+    /// Tightens with one comparison.
+    fn apply(&mut self, op: CmpOp, value: f64) {
+        match op {
+            CmpOp::Ge => self.raise_lo(value, false),
+            CmpOp::Gt => self.raise_lo(value, true),
+            CmpOp::Le => self.lower_hi(value, false),
+            CmpOp::Lt => self.lower_hi(value, true),
+            CmpOp::Eq => {
+                self.raise_lo(value, false);
+                self.lower_hi(value, false);
+            }
+        }
+    }
+
+    fn raise_lo(&mut self, value: f64, strict: bool) {
+        if value > self.lo || (value == self.lo && strict && !self.lo_strict) {
+            self.lo = value;
+            self.lo_strict = strict;
+        }
+    }
+
+    fn lower_hi(&mut self, value: f64, strict: bool) {
+        if value < self.hi || (value == self.hi && strict && !self.hi_strict) {
+            self.hi = value;
+            self.hi_strict = strict;
+        }
+    }
+
+    /// Whether any value can satisfy the interval.
+    fn is_satisfiable(&self) -> bool {
+        if self.lo < self.hi {
+            return true;
+        }
+        self.lo == self.hi && !self.lo_strict && !self.hi_strict
+    }
+
+    /// Emits the minimal comparison list for this interval.
+    fn emit(&self, attr: &str, out: &mut Vec<Comparison>) {
+        if self.lo == self.hi && !self.lo_strict && !self.hi_strict {
+            out.push(Comparison::new(attr, CmpOp::Eq, self.lo));
+            return;
+        }
+        if self.lo.is_finite() {
+            let op = if self.lo_strict { CmpOp::Gt } else { CmpOp::Ge };
+            out.push(Comparison::new(attr, op, self.lo));
+        }
+        if self.hi.is_finite() {
+            let op = if self.hi_strict { CmpOp::Lt } else { CmpOp::Le };
+            out.push(Comparison::new(attr, op, self.hi));
+        }
+    }
+}
+
+/// Returns an equivalent selection with redundant and contradictory
+/// predicates removed. Attribute order within each conjunction is
+/// normalized to lexicographic; disjunct order is preserved (minus
+/// duplicates).
+pub fn simplify(query: &Selection) -> Selection {
+    let mut disjuncts: Vec<Conjunction> = Vec::with_capacity(query.disjuncts.len());
+    for conj in &query.disjuncts {
+        // Fold all comparisons per attribute into one interval.
+        let mut intervals: BTreeMap<&str, Interval> = BTreeMap::new();
+        for term in &conj.terms {
+            intervals
+                .entry(term.attr.as_str())
+                .or_insert_with(Interval::unbounded)
+                .apply(term.op, term.value);
+        }
+        if intervals.values().any(|iv| !iv.is_satisfiable()) {
+            continue; // contradictory conjunction: contributes nothing
+        }
+        let mut terms = Vec::new();
+        for (attr, iv) in &intervals {
+            iv.emit(attr, &mut terms);
+        }
+        let simplified = Conjunction::new(terms);
+        if simplified.terms.is_empty() {
+            // A TRUE disjunct makes the whole query TRUE.
+            return Selection::new(query.table.clone(), vec![Conjunction::default()]);
+        }
+        if !disjuncts.contains(&simplified) {
+            disjuncts.push(simplified);
+        }
+    }
+    Selection::new(query.table.clone(), disjuncts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_selection;
+
+    fn simp(sql: &str) -> String {
+        simplify(&parse_selection(sql).expect("parses")).to_sql()
+    }
+
+    #[test]
+    fn redundant_bounds_collapse() {
+        assert_eq!(
+            simp("SELECT * FROM t WHERE a >= 1 AND a >= 2 AND a <= 9 AND a <= 5"),
+            "SELECT * FROM t WHERE (a >= 2 AND a <= 5)"
+        );
+    }
+
+    #[test]
+    fn strictness_is_preserved_and_tightest_wins() {
+        assert_eq!(
+            simp("SELECT * FROM t WHERE a > 2 AND a >= 2"),
+            "SELECT * FROM t WHERE (a > 2)"
+        );
+        assert_eq!(
+            simp("SELECT * FROM t WHERE a < 5 AND a <= 5"),
+            "SELECT * FROM t WHERE (a < 5)"
+        );
+    }
+
+    #[test]
+    fn contradictions_drop_the_disjunct() {
+        assert_eq!(
+            simp("SELECT * FROM t WHERE (a > 5 AND a < 3) OR b >= 1"),
+            "SELECT * FROM t WHERE (b >= 1)"
+        );
+        // All disjuncts contradictory = FALSE.
+        assert_eq!(
+            simp("SELECT * FROM t WHERE a > 5 AND a < 3"),
+            "SELECT * FROM t WHERE FALSE"
+        );
+        // Strict boundary contradiction: a > 3 AND a <= 3.
+        assert_eq!(
+            simp("SELECT * FROM t WHERE a > 3 AND a <= 3"),
+            "SELECT * FROM t WHERE FALSE"
+        );
+    }
+
+    #[test]
+    fn equality_folds_and_detects_conflicts() {
+        assert_eq!(
+            simp("SELECT * FROM t WHERE a = 4 AND a >= 1 AND a <= 9"),
+            "SELECT * FROM t WHERE (a = 4)"
+        );
+        assert_eq!(
+            simp("SELECT * FROM t WHERE a = 4 AND a = 5"),
+            "SELECT * FROM t WHERE FALSE"
+        );
+        assert_eq!(
+            simp("SELECT * FROM t WHERE a = 4 AND a > 4"),
+            "SELECT * FROM t WHERE FALSE"
+        );
+        // Interval collapsing to a point becomes equality.
+        assert_eq!(
+            simp("SELECT * FROM t WHERE a >= 4 AND a <= 4"),
+            "SELECT * FROM t WHERE (a = 4)"
+        );
+    }
+
+    #[test]
+    fn duplicate_disjuncts_are_merged() {
+        assert_eq!(
+            simp("SELECT * FROM t WHERE (a < 1) OR (a < 1) OR (a < 1 AND a < 2)"),
+            "SELECT * FROM t WHERE (a < 1)"
+        );
+    }
+
+    #[test]
+    fn true_disjunct_dominates() {
+        // 0-term conjunctions cannot be parsed directly, but an interval
+        // can become vacuous? It cannot here; test via constructed AST.
+        let q = Selection::new(
+            "t",
+            vec![
+                Conjunction::new(vec![Comparison::new("a", CmpOp::Lt, 1.0)]),
+                Conjunction::default(),
+            ],
+        );
+        assert_eq!(simplify(&q).to_sql(), "SELECT * FROM t");
+    }
+
+    #[test]
+    fn attributes_are_ordered_deterministically() {
+        assert_eq!(
+            simp("SELECT * FROM t WHERE zz < 1 AND aa > 0"),
+            "SELECT * FROM t WHERE (aa > 0 AND zz < 1)"
+        );
+    }
+
+    #[test]
+    fn already_minimal_queries_are_unchanged() {
+        let sql = "SELECT * FROM t WHERE (a >= 1 AND a <= 5) OR (b > 2)";
+        assert_eq!(simp(sql), sql);
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests: every query the query layer can produce must
+//! round-trip through its own SQL rendering and parser, and evaluation
+//! must agree with direct predicate semantics.
+
+use aide_data::{DataType, Schema, TableBuilder, Value};
+use aide_query::{parse_selection, simplify, CmpOp, Comparison, Conjunction, Selection};
+use proptest::prelude::*;
+
+fn op_strategy() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+        Just(CmpOp::Eq),
+    ]
+}
+
+fn comparison_strategy() -> impl Strategy<Value = Comparison> {
+    (
+        prop_oneof![Just("age"), Just("dosage"), Just("rowc"), Just("x_1")],
+        op_strategy(),
+        // Values the SQL formatter renders exactly (6 decimal places).
+        (-1_000_000i32..1_000_000).prop_map(|v| v as f64 / 64.0),
+    )
+        .prop_map(|(attr, op, value)| Comparison::new(attr, op, value))
+}
+
+fn selection_strategy() -> impl Strategy<Value = Selection> {
+    proptest::collection::vec(proptest::collection::vec(comparison_strategy(), 1..5), 0..4)
+        .prop_map(|disjuncts| {
+            Selection::new("t", disjuncts.into_iter().map(Conjunction::new).collect())
+        })
+}
+
+proptest! {
+    #[test]
+    fn sql_round_trips(q in selection_strategy()) {
+        let sql = q.to_sql();
+        let parsed = parse_selection(&sql).expect("rendered SQL parses");
+        prop_assert_eq!(parsed, q);
+    }
+
+    #[test]
+    fn rendered_sql_mentions_every_term(q in selection_strategy()) {
+        let sql = q.to_sql();
+        for conj in &q.disjuncts {
+            for term in &conj.terms {
+                prop_assert!(sql.contains(&term.attr), "missing {} in {sql}", term.attr);
+            }
+        }
+    }
+
+    #[test]
+    fn cmp_op_eval_matches_rust_operators(op in op_strategy(), a in -1e6f64..1e6, b in -1e6f64..1e6) {
+        let expected = match op {
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+            CmpOp::Eq => a == b,
+        };
+        prop_assert_eq!(op.eval(a, b), expected);
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(input in "[ -~]{0,80}") {
+        let _ = parse_selection(&input);
+    }
+
+    /// Simplification must be semantics-preserving: the simplified query
+    /// selects exactly the same rows on a probe table, and is idempotent.
+    #[test]
+    fn simplify_preserves_semantics(q in selection_strategy()) {
+        // A probe table over the attributes the strategy uses.
+        let schema = Schema::from_pairs(&[
+            ("age", DataType::Float),
+            ("dosage", DataType::Float),
+            ("rowc", DataType::Float),
+            ("x_1", DataType::Float),
+        ]).expect("schema");
+        let mut b = TableBuilder::new("t", schema);
+        let mut v = -16_000.0f64;
+        while v <= 16_000.0 {
+            b.push_row(vec![
+                Value::Float(v),
+                Value::Float(-v),
+                Value::Float(v / 2.0),
+                Value::Float(v * 2.0),
+            ]).expect("row");
+            v += 977.0; // irregular stride crosses strict/non-strict bounds
+        }
+        let table = b.finish();
+        let simplified = simplify(&q);
+        prop_assert_eq!(
+            simplified.evaluate(&table).expect("simplified evaluates"),
+            q.evaluate(&table).expect("original evaluates")
+        );
+        // Idempotence.
+        prop_assert_eq!(simplify(&simplified), simplified);
+    }
+}

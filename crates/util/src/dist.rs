@@ -1,0 +1,250 @@
+//! Probability distributions for the synthetic dataset generators.
+//!
+//! The SDSS attributes the paper explores have two qualitatively different
+//! shapes: `rowc`/`colc` are roughly uniform over the CCD frame (dense
+//! exploration spaces) while `ra`/`dec` are heavily skewed by the survey's
+//! stripe geometry. We model the former with plain uniforms (see
+//! [`crate::rng::Rng::uniform`]) and the latter with mixtures of
+//! [`TruncatedNormal`]s; categorical-ish attributes such as `field` use
+//! [`Zipf`] frequencies.
+
+use crate::rng::Rng;
+
+/// A normal (Gaussian) distribution sampled with the Marsaglia polar method.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std_dev` is negative or not finite.
+    pub fn new(mean: f64, std_dev: f64) -> Self {
+        assert!(
+            std_dev.is_finite() && std_dev >= 0.0,
+            "standard deviation must be finite and non-negative, got {std_dev}"
+        );
+        Self { mean, std_dev }
+    }
+
+    /// The distribution mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The distribution standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.std_dev
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.std_dev == 0.0 {
+            return self.mean;
+        }
+        // Marsaglia polar method; rejection loop terminates with
+        // probability 1 (acceptance ratio pi/4).
+        loop {
+            let u = 2.0 * rng.next_f64() - 1.0;
+            let v = 2.0 * rng.next_f64() - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                let factor = (-2.0 * s.ln() / s).sqrt();
+                return self.mean + self.std_dev * u * factor;
+            }
+        }
+    }
+}
+
+/// A normal distribution truncated to a closed interval by rejection, with a
+/// uniform fallback for far-tail truncation regions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TruncatedNormal {
+    inner: Normal,
+    lo: f64,
+    hi: f64,
+}
+
+impl TruncatedNormal {
+    /// Creates a normal distribution truncated to `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or either bound is not finite.
+    pub fn new(mean: f64, std_dev: f64, lo: f64, hi: f64) -> Self {
+        assert!(lo.is_finite() && hi.is_finite(), "bounds must be finite");
+        assert!(lo <= hi, "invalid truncation interval [{lo}, {hi}]");
+        Self {
+            inner: Normal::new(mean, std_dev),
+            lo,
+            hi,
+        }
+    }
+
+    /// Draws one sample in `[lo, hi]`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.lo == self.hi {
+            return self.lo;
+        }
+        // Rejection sampling is efficient when the interval overlaps the
+        // bulk of the distribution; bail out to a uniform draw if we are
+        // clearly in the far tail so sampling time stays bounded.
+        for _ in 0..64 {
+            let v = self.inner.sample(rng);
+            if v >= self.lo && v <= self.hi {
+                return v;
+            }
+        }
+        rng.uniform(self.lo, self.hi)
+    }
+}
+
+/// A Zipf distribution over ranks `1..=n` with exponent `s`.
+///
+/// Sampled by inverse transform over the precomputed CDF; `n` is small for
+/// our use (SDSS `field` ids, AuctionMark categories), so the O(log n)
+/// binary search per draw is more than fast enough.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution over `1..=n` with exponent `s >= 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s` is negative/not finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(s.is_finite() && s >= 0.0, "invalid Zipf exponent {s}");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for rank in 1..=n {
+            acc += 1.0 / (rank as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Self { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the distribution has a single rank.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Draws one rank in `1..=n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u = rng.next_f64();
+        // First rank whose cumulative probability reaches `u`; the clamp
+        // covers the case where rounding left the final CDF entry below 1.
+        let i = self.cdf.partition_point(|&p| p < u);
+        i.min(self.cdf.len() - 1) + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256pp;
+    use crate::stats::OnlineStats;
+
+    #[test]
+    fn normal_moments_are_close() {
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
+        let dist = Normal::new(10.0, 2.0);
+        let mut stats = OnlineStats::new();
+        for _ in 0..50_000 {
+            stats.push(dist.sample(&mut rng));
+        }
+        assert!((stats.mean() - 10.0).abs() < 0.05, "mean {}", stats.mean());
+        assert!(
+            (stats.std_dev() - 2.0).abs() < 0.05,
+            "std dev {}",
+            stats.std_dev()
+        );
+    }
+
+    #[test]
+    fn normal_zero_std_dev_is_constant() {
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
+        let dist = Normal::new(5.0, 0.0);
+        for _ in 0..10 {
+            assert_eq!(dist.sample(&mut rng), 5.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "standard deviation")]
+    fn normal_rejects_negative_std_dev() {
+        Normal::new(0.0, -1.0);
+    }
+
+    #[test]
+    fn truncated_normal_respects_bounds() {
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
+        let dist = TruncatedNormal::new(50.0, 30.0, 0.0, 100.0);
+        for _ in 0..20_000 {
+            let v = dist.sample(&mut rng);
+            assert!((0.0..=100.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn truncated_normal_far_tail_falls_back_to_uniform() {
+        let mut rng = Xoshiro256pp::seed_from_u64(4);
+        // Interval ten sigma away from the mean: rejection will never hit.
+        let dist = TruncatedNormal::new(0.0, 1.0, 50.0, 60.0);
+        for _ in 0..100 {
+            let v = dist.sample(&mut rng);
+            assert!((50.0..=60.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn zipf_is_monotonically_decreasing_in_rank() {
+        let mut rng = Xoshiro256pp::seed_from_u64(5);
+        let dist = Zipf::new(20, 1.1);
+        let mut counts = [0usize; 21];
+        for _ in 0..100_000 {
+            let r = dist.sample(&mut rng);
+            assert!((1..=20).contains(&r), "rank out of range: {r}");
+            counts[r] += 1;
+        }
+        assert!(counts[1] > counts[5]);
+        assert!(counts[5] > counts[20]);
+    }
+
+    #[test]
+    fn zipf_exponent_zero_is_uniform() {
+        let mut rng = Xoshiro256pp::seed_from_u64(6);
+        let dist = Zipf::new(10, 0.0);
+        let mut counts = [0usize; 11];
+        let draws = 100_000;
+        for _ in 0..draws {
+            counts[dist.sample(&mut rng)] += 1;
+        }
+        let expected = draws as f64 / 10.0;
+        for &c in &counts[1..] {
+            assert!((c as f64 - expected).abs() < expected * 0.1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zipf_rejects_empty_support() {
+        Zipf::new(0, 1.0);
+    }
+}

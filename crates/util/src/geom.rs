@@ -1,0 +1,336 @@
+//! Axis-aligned hyper-rectangles in the normalized exploration space.
+//!
+//! AIDE reasons about the data space exclusively through axis-aligned boxes:
+//! grid cells, k-means sampling areas, decision-tree leaf regions, boundary
+//! sampling slabs and target-query areas are all [`Rect`]s over the
+//! normalized `[0, 100]^d` domain (paper §2.3, §5.1).
+
+/// An axis-aligned hyper-rectangle `[lo_j, hi_j]` per dimension.
+///
+/// Intervals are closed on both ends. Decision-tree split thresholds are
+/// midpoints between adjacent observed values, so in practice no tuple sits
+/// exactly on a shared face of two extracted regions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rect {
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+}
+
+impl Rect {
+    /// Creates a rectangle from per-dimension bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bound vectors have different lengths, are empty, or
+    /// any interval is inverted (`lo > hi`) or non-finite.
+    pub fn new(lo: Vec<f64>, hi: Vec<f64>) -> Self {
+        assert_eq!(lo.len(), hi.len(), "bound dimensionality mismatch");
+        assert!(
+            !lo.is_empty(),
+            "rectangles must have at least one dimension"
+        );
+        for (d, (&l, &h)) in lo.iter().zip(&hi).enumerate() {
+            assert!(
+                l.is_finite() && h.is_finite() && l <= h,
+                "invalid interval [{l}, {h}] in dimension {d}"
+            );
+        }
+        Self { lo, hi }
+    }
+
+    /// The full normalized exploration space `[0, 100]^dims`.
+    pub fn full_domain(dims: usize) -> Self {
+        Self::new(vec![0.0; dims], vec![100.0; dims])
+    }
+
+    /// Creates a rectangle centered at `center` with per-dimension `width`,
+    /// clipped to `bounds`.
+    pub fn from_center(center: &[f64], width: &[f64], bounds: &Rect) -> Self {
+        assert_eq!(center.len(), width.len(), "center/width length mismatch");
+        assert_eq!(
+            center.len(),
+            bounds.dims(),
+            "bounds dimensionality mismatch"
+        );
+        let lo = center
+            .iter()
+            .zip(width)
+            .zip(&bounds.lo)
+            .map(|((&c, &w), &b)| (c - w / 2.0).max(b))
+            .collect();
+        let hi = center
+            .iter()
+            .zip(width)
+            .zip(&bounds.hi)
+            .map(|((&c, &w), &b)| (c + w / 2.0).min(b))
+            .collect();
+        Self::new(lo, hi)
+    }
+
+    /// The smallest rectangle containing every point in `points`.
+    ///
+    /// Returns `None` when `points` is empty.
+    pub fn bounding(points: &[&[f64]]) -> Option<Self> {
+        let first = points.first()?;
+        let mut lo = first.to_vec();
+        let mut hi = first.to_vec();
+        for p in &points[1..] {
+            for (d, &v) in p.iter().enumerate() {
+                lo[d] = lo[d].min(v);
+                hi[d] = hi[d].max(v);
+            }
+        }
+        Some(Self::new(lo, hi))
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.lo.len()
+    }
+
+    /// Lower bound of dimension `d`.
+    #[inline]
+    pub fn lo(&self, d: usize) -> f64 {
+        self.lo[d]
+    }
+
+    /// Upper bound of dimension `d`.
+    #[inline]
+    pub fn hi(&self, d: usize) -> f64 {
+        self.hi[d]
+    }
+
+    /// All lower bounds.
+    pub fn lo_slice(&self) -> &[f64] {
+        &self.lo
+    }
+
+    /// All upper bounds.
+    pub fn hi_slice(&self) -> &[f64] {
+        &self.hi
+    }
+
+    /// Width of dimension `d`.
+    #[inline]
+    pub fn width(&self, d: usize) -> f64 {
+        self.hi[d] - self.lo[d]
+    }
+
+    /// Center point.
+    pub fn center(&self) -> Vec<f64> {
+        self.lo
+            .iter()
+            .zip(&self.hi)
+            .map(|(&l, &h)| (l + h) / 2.0)
+            .collect()
+    }
+
+    /// Product of widths. Zero-width dimensions make the volume zero.
+    pub fn volume(&self) -> f64 {
+        self.lo.iter().zip(&self.hi).map(|(&l, &h)| h - l).product()
+    }
+
+    /// Whether `point` lies inside (closed intervals).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if dimensionality differs.
+    #[inline]
+    pub fn contains(&self, point: &[f64]) -> bool {
+        debug_assert_eq!(point.len(), self.dims());
+        self.lo
+            .iter()
+            .zip(&self.hi)
+            .zip(point)
+            .all(|((&l, &h), &x)| x >= l && x <= h)
+    }
+
+    /// Whether the two rectangles share any point.
+    pub fn intersects(&self, other: &Rect) -> bool {
+        debug_assert_eq!(self.dims(), other.dims());
+        self.lo
+            .iter()
+            .zip(&self.hi)
+            .zip(other.lo.iter().zip(&other.hi))
+            .all(|((&l, &h), (&ol, &oh))| l <= oh && ol <= h)
+    }
+
+    /// The intersection rectangle, or `None` if disjoint.
+    pub fn intersection(&self, other: &Rect) -> Option<Rect> {
+        if !self.intersects(other) {
+            return None;
+        }
+        let lo = self
+            .lo
+            .iter()
+            .zip(&other.lo)
+            .map(|(&a, &b)| a.max(b))
+            .collect();
+        let hi = self
+            .hi
+            .iter()
+            .zip(&other.hi)
+            .map(|(&a, &b)| a.min(b))
+            .collect();
+        Some(Rect::new(lo, hi))
+    }
+
+    /// Fraction of `self`'s volume covered by `other` (0 when disjoint,
+    /// 1 when `self` has zero volume but its box lies inside `other`).
+    pub fn overlap_fraction(&self, other: &Rect) -> f64 {
+        match self.intersection(other) {
+            None => 0.0,
+            Some(inter) => {
+                let v = self.volume();
+                if v == 0.0 {
+                    // Degenerate slabs: compare per-dimension coverage.
+                    if inter == *self {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                } else {
+                    inter.volume() / v
+                }
+            }
+        }
+    }
+
+    /// Grows (or with negative margin, shrinks) every side by `margin`,
+    /// clipping to `bounds`. Shrinking never inverts an interval: each
+    /// interval collapses to its midpoint at worst.
+    pub fn expanded(&self, margin: f64, bounds: &Rect) -> Rect {
+        let mut lo = Vec::with_capacity(self.dims());
+        let mut hi = Vec::with_capacity(self.dims());
+        for d in 0..self.dims() {
+            let mid = (self.lo[d] + self.hi[d]) / 2.0;
+            let l = (self.lo[d] - margin).min(mid).max(bounds.lo[d]);
+            let h = (self.hi[d] + margin).max(mid).min(bounds.hi[d]);
+            lo.push(l.min(h));
+            hi.push(h.max(l));
+        }
+        Rect::new(lo, hi)
+    }
+
+    /// Replaces dimension `d` with `[lo, hi]`.
+    pub fn with_dim(&self, d: usize, lo: f64, hi: f64) -> Rect {
+        let mut out = self.clone();
+        out.lo[d] = lo;
+        out.hi[d] = hi;
+        Rect::new(out.lo, out.hi)
+    }
+}
+
+/// Whether any rectangle in `rects` contains `point`.
+///
+/// This is the membership test for a disjunctive target query (a union of
+/// relevant areas, paper §2.4).
+pub fn any_contains(rects: &[Rect], point: &[f64]) -> bool {
+    rects.iter().any(|r| r.contains(point))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rect2(lo: [f64; 2], hi: [f64; 2]) -> Rect {
+        Rect::new(lo.to_vec(), hi.to_vec())
+    }
+
+    #[test]
+    fn contains_is_closed_on_both_ends() {
+        let r = rect2([0.0, 0.0], [10.0, 20.0]);
+        assert!(r.contains(&[0.0, 0.0]));
+        assert!(r.contains(&[10.0, 20.0]));
+        assert!(r.contains(&[5.0, 5.0]));
+        assert!(!r.contains(&[10.000001, 5.0]));
+        assert!(!r.contains(&[-0.000001, 5.0]));
+    }
+
+    #[test]
+    fn intersection_and_volume() {
+        let a = rect2([0.0, 0.0], [10.0, 10.0]);
+        let b = rect2([5.0, 5.0], [15.0, 15.0]);
+        let i = a.intersection(&b).unwrap();
+        assert_eq!(i, rect2([5.0, 5.0], [10.0, 10.0]));
+        assert_eq!(i.volume(), 25.0);
+        let c = rect2([20.0, 20.0], [30.0, 30.0]);
+        assert!(a.intersection(&c).is_none());
+        assert!(!a.intersects(&c));
+        // Touching edges count as intersecting (closed intervals).
+        let d = rect2([10.0, 0.0], [20.0, 10.0]);
+        assert!(a.intersects(&d));
+        assert_eq!(a.intersection(&d).unwrap().volume(), 0.0);
+    }
+
+    #[test]
+    fn overlap_fraction_cases() {
+        let a = rect2([0.0, 0.0], [10.0, 10.0]);
+        let b = rect2([0.0, 0.0], [5.0, 10.0]);
+        assert!((b.overlap_fraction(&a) - 1.0).abs() < 1e-12);
+        assert!((a.overlap_fraction(&b) - 0.5).abs() < 1e-12);
+        let c = rect2([50.0, 50.0], [60.0, 60.0]);
+        assert_eq!(a.overlap_fraction(&c), 0.0);
+        // Zero-volume slab inside a box.
+        let slab = rect2([2.0, 0.0], [2.0, 10.0]);
+        assert_eq!(slab.overlap_fraction(&a), 1.0);
+    }
+
+    #[test]
+    fn expanded_clips_to_bounds_and_never_inverts() {
+        let bounds = Rect::full_domain(2);
+        let r = rect2([1.0, 40.0], [3.0, 60.0]);
+        let grown = r.expanded(5.0, &bounds);
+        assert_eq!(grown, rect2([0.0, 35.0], [8.0, 65.0]));
+        let shrunk = r.expanded(-10.0, &bounds);
+        // Each interval collapses to its midpoint rather than inverting.
+        assert_eq!(shrunk.lo(0), 2.0);
+        assert_eq!(shrunk.hi(0), 2.0);
+        assert_eq!(shrunk.lo(1), 50.0);
+        assert_eq!(shrunk.hi(1), 50.0);
+    }
+
+    #[test]
+    fn from_center_clips() {
+        let bounds = Rect::full_domain(2);
+        let r = Rect::from_center(&[1.0, 50.0], &[10.0, 10.0], &bounds);
+        assert_eq!(r, rect2([0.0, 45.0], [6.0, 55.0]));
+    }
+
+    #[test]
+    fn bounding_box_of_points() {
+        let pts: Vec<&[f64]> = vec![&[1.0, 5.0], &[3.0, 2.0], &[2.0, 9.0]];
+        let r = Rect::bounding(&pts).unwrap();
+        assert_eq!(r, rect2([1.0, 2.0], [3.0, 9.0]));
+        assert!(Rect::bounding(&[]).is_none());
+    }
+
+    #[test]
+    fn with_dim_replaces_one_interval() {
+        let r = rect2([0.0, 0.0], [10.0, 10.0]);
+        let s = r.with_dim(1, 3.0, 4.0);
+        assert_eq!(s, rect2([0.0, 3.0], [10.0, 4.0]));
+    }
+
+    #[test]
+    fn any_contains_union_semantics() {
+        let rs = vec![rect2([0.0, 0.0], [1.0, 1.0]), rect2([5.0, 5.0], [6.0, 6.0])];
+        assert!(any_contains(&rs, &[0.5, 0.5]));
+        assert!(any_contains(&rs, &[5.5, 5.5]));
+        assert!(!any_contains(&rs, &[3.0, 3.0]));
+        assert!(!any_contains(&[], &[3.0, 3.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid interval")]
+    fn inverted_interval_panics() {
+        Rect::new(vec![1.0], vec![0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality mismatch")]
+    fn mismatched_bounds_panic() {
+        Rect::new(vec![0.0, 0.0], vec![1.0]);
+    }
+}

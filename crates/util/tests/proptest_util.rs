@@ -1,0 +1,111 @@
+//! Property-based tests for the RNG, distribution and geometry substrate.
+
+use aide_util::geom::Rect;
+use aide_util::rng::{Rng, Xoshiro256pp};
+use aide_util::stats::OnlineStats;
+use proptest::prelude::*;
+
+/// A strategy for valid rectangles in the normalized space.
+fn rect_strategy(dims: usize) -> impl Strategy<Value = Rect> {
+    proptest::collection::vec((0.0f64..100.0, 0.0f64..100.0), dims).prop_map(|bounds| {
+        let lo = bounds.iter().map(|&(a, b)| a.min(b)).collect();
+        let hi = bounds.iter().map(|&(a, b)| a.max(b)).collect();
+        Rect::new(lo, hi)
+    })
+}
+
+proptest! {
+    #[test]
+    fn uniform_stays_in_bounds(seed in any::<u64>(), lo in -1e6f64..1e6, width in 0.0f64..1e6) {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let hi = lo + width;
+        for _ in 0..100 {
+            let v = rng.uniform(lo, hi);
+            prop_assert!(v >= lo);
+            prop_assert!(v <= hi);
+        }
+    }
+
+    #[test]
+    fn below_is_in_range(seed in any::<u64>(), n in 1u64..1_000_000) {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        for _ in 0..100 {
+            prop_assert!(rng.below(n) < n);
+        }
+    }
+
+    #[test]
+    fn sample_indices_is_a_subset_without_duplicates(
+        seed in any::<u64>(),
+        n in 0usize..500,
+        k in 0usize..600,
+    ) {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let mut sample = rng.sample_indices(n, k);
+        prop_assert_eq!(sample.len(), k.min(n));
+        sample.sort_unstable();
+        let len = sample.len();
+        sample.dedup();
+        prop_assert_eq!(sample.len(), len, "duplicates in sample");
+        prop_assert!(sample.iter().all(|&i| i < n));
+    }
+
+    #[test]
+    fn shuffle_preserves_multiset(seed in any::<u64>(), mut v in proptest::collection::vec(any::<u32>(), 0..100)) {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let mut original = v.clone();
+        rng.shuffle(&mut v);
+        original.sort_unstable();
+        v.sort_unstable();
+        prop_assert_eq!(original, v);
+    }
+
+    #[test]
+    fn rect_intersection_is_commutative_and_contained(
+        a in rect_strategy(3),
+        b in rect_strategy(3),
+    ) {
+        let ab = a.intersection(&b);
+        let ba = b.intersection(&a);
+        prop_assert_eq!(&ab, &ba);
+        if let Some(i) = ab {
+            for d in 0..3 {
+                prop_assert!(i.lo(d) >= a.lo(d) && i.lo(d) >= b.lo(d));
+                prop_assert!(i.hi(d) <= a.hi(d) && i.hi(d) <= b.hi(d));
+            }
+            prop_assert!(i.volume() <= a.volume() + 1e-9);
+            prop_assert!(i.volume() <= b.volume() + 1e-9);
+        }
+    }
+
+    #[test]
+    fn rect_contains_center_and_expansion_is_monotone(r in rect_strategy(2), margin in 0.0f64..50.0) {
+        let c = r.center();
+        prop_assert!(r.contains(&c));
+        let bounds = Rect::full_domain(2);
+        let grown = r.expanded(margin, &bounds);
+        prop_assert!(grown.contains(&c));
+        prop_assert!(grown.volume() + 1e-9 >= r.intersection(&bounds).map(|i| i.volume()).unwrap_or(0.0));
+    }
+
+    #[test]
+    fn overlap_fraction_is_a_fraction(a in rect_strategy(2), b in rect_strategy(2)) {
+        let f = a.overlap_fraction(&b);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&f), "fraction {f}");
+        // Self-overlap of a non-degenerate rect is 1.
+        if a.volume() > 0.0 {
+            prop_assert!((a.overlap_fraction(&a) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn online_stats_mean_is_bounded_by_min_max(values in proptest::collection::vec(-1e9f64..1e9, 1..200)) {
+        let mut s = OnlineStats::new();
+        for &v in &values {
+            s.push(v);
+        }
+        prop_assert!(s.mean() >= s.min().unwrap() - 1e-6);
+        prop_assert!(s.mean() <= s.max().unwrap() + 1e-6);
+        prop_assert!(s.variance() >= 0.0);
+    }
+}

@@ -1,0 +1,131 @@
+//! Interactive steering: *you* are the user.
+//!
+//! ```text
+//! cargo run --release --example interactive
+//! ```
+//!
+//! AIDE shows you auction items one batch at a time; answer `y` (relevant)
+//! or `n` for each, and watch the predicted query sharpen. Type `q` to
+//! stop and get the final query. When stdin is not a terminal (CI), a
+//! scripted rule answers instead, so the example always runs.
+
+use std::cell::Cell;
+use std::io::{BufRead, IsTerminal, Write};
+use std::rc::Rc;
+use std::sync::Arc;
+
+use aide::core::{CallbackOracle, ExplorationSession, SessionConfig};
+use aide::data::{auction_like, Table};
+use aide::index::{ExtractionEngine, IndexKind, Sample};
+use aide::util::rng::Xoshiro256pp;
+
+fn main() {
+    let mut rng = Xoshiro256pp::seed_from_u64(99);
+    let table = auction_like(60_000, &mut rng);
+    let attrs = ["current_price", "num_bids"];
+    let view = Arc::new(table.numeric_view(&attrs).expect("numeric attributes"));
+    let engine = ExtractionEngine::from_arc(Arc::clone(&view), IndexKind::Grid);
+
+    let interactive = std::io::stdin().is_terminal();
+    if interactive {
+        println!(
+            "Label auction items as relevant (y) or not (n); q to finish.\n\
+             (Tip: pretend you want cheap items with lots of bids.)\n"
+        );
+    } else {
+        println!(
+            "stdin is not a TTY — answering with the scripted rule `price < $40 AND bids >= 5`\n"
+        );
+    }
+
+    // The oracle: a human at the terminal, or a scripted stand-in.
+    let table_for_oracle: Table = table.clone();
+    let quit = Rc::new(Cell::new(false));
+    let oracle = {
+        let quit = Rc::clone(&quit);
+        CallbackOracle::new(move |sample: &Sample| {
+            let row = sample.row_id as usize;
+            let price = table_for_oracle
+                .column_by_name("current_price")
+                .expect("column exists")
+                .f64_at(row)
+                .expect("numeric");
+            let bids = table_for_oracle
+                .column_by_name("num_bids")
+                .expect("column exists")
+                .f64_at(row)
+                .expect("numeric");
+            if !interactive {
+                return price < 40.0 && bids >= 5.0;
+            }
+            loop {
+                print!("item #{row}: ${price:.2}, {bids:.0} bids — relevant? [y/n/q] ");
+                std::io::stdout().flush().expect("stdout flush");
+                let mut line = String::new();
+                if std::io::stdin().lock().read_line(&mut line).unwrap_or(0) == 0 {
+                    quit.set(true);
+                    return false;
+                }
+                match line.trim().to_ascii_lowercase().as_str() {
+                    "y" | "yes" => return true,
+                    "n" | "no" => return false,
+                    "q" | "quit" => {
+                        quit.set(true);
+                        return false;
+                    }
+                    _ => println!("  please answer y, n or q"),
+                }
+            }
+        })
+    };
+
+    let mut session = ExplorationSession::with_oracle(
+        SessionConfig {
+            // Smaller batches keep a human engaged.
+            samples_per_iteration: if interactive { 8 } else { 20 },
+            ..SessionConfig::default()
+        },
+        engine,
+        Arc::clone(&view),
+        Box::new(oracle),
+        None, // a real user has no machine-checkable ground truth
+        Xoshiro256pp::seed_from_u64(5),
+    );
+
+    let max_iterations = if interactive { 40 } else { 15 };
+    for _ in 0..max_iterations {
+        let report = session.run_iteration().clone();
+        if quit.get() {
+            break;
+        }
+        let sql = session.predicted_selection(table.name()).to_sql();
+        println!(
+            "\n-- after {} labels ({} relevant): {} region(s)\n-- current guess: {}\n",
+            report.total_labeled,
+            report.relevant_labeled,
+            report.num_regions,
+            truncate(&sql, 120),
+        );
+        if !interactive && report.num_regions > 0 && report.iteration >= 8 {
+            break;
+        }
+    }
+
+    let query = session.predicted_selection(table.name());
+    println!("\nfinal predicted query:\n  {}", query.to_sql());
+    let rows = query.evaluate(&table).expect("query evaluates");
+    println!(
+        "retrieves {} of {} items after {} reviews",
+        rows.len(),
+        table.num_rows(),
+        session.reviewed()
+    );
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.len() <= n {
+        s.to_owned()
+    } else {
+        format!("{}…", &s[..n])
+    }
+}

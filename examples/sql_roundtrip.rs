@@ -1,0 +1,75 @@
+//! The query layer end to end: a true interest written as SQL, steering
+//! from labels alone, and a predicted query that round-trips through the
+//! SQL parser.
+//!
+//! ```text
+//! cargo run --release --example sql_roundtrip
+//! ```
+
+use std::sync::Arc;
+
+use aide::core::{ExplorationSession, SessionConfig, StopCondition, TargetQuery};
+use aide::data::sdss_like;
+use aide::index::{ExtractionEngine, IndexKind};
+use aide::query::parse_selection;
+use aide::util::geom::Rect;
+use aide::util::rng::Xoshiro256pp;
+
+fn main() {
+    let mut rng = Xoshiro256pp::seed_from_u64(5);
+    let table = sdss_like(80_000).generate(&mut rng);
+    let view = Arc::new(table.numeric_view(&["rowc", "colc"]).expect("numeric"));
+    let mapper = view.mapper();
+
+    // The user's true interest, written as SQL over raw attribute values.
+    let true_sql = "SELECT * FROM photoobjall WHERE rowc BETWEEN 820 AND 1000 \
+                    AND colc BETWEEN 1230 AND 1400";
+    let true_query = parse_selection(true_sql).expect("true query parses");
+    let true_rows = true_query.evaluate(&table).expect("true query evaluates");
+    println!("true interest: {true_sql}");
+    println!("  -> {} relevant objects", true_rows.len());
+
+    // The same interest as a normalized target rectangle for simulation.
+    let raw_rect = Rect::new(vec![820.0, 1230.0], vec![1000.0, 1400.0]);
+    let target = TargetQuery::new(vec![mapper.normalize_rect(&raw_rect)]);
+
+    let engine = ExtractionEngine::from_arc(Arc::clone(&view), IndexKind::Grid);
+    let mut session = ExplorationSession::new(
+        SessionConfig::default(),
+        engine,
+        Arc::clone(&view),
+        target,
+        Xoshiro256pp::seed_from_u64(11),
+    );
+    let result = session.run(StopCondition {
+        target_f: Some(0.85),
+        max_labels: Some(1_000),
+        max_iterations: 100,
+    });
+    println!(
+        "\nsteered with {} labels to F = {:.2}",
+        result.total_labeled, result.final_f
+    );
+
+    // Predicted query: render to SQL, parse it back, evaluate both.
+    let predicted = session.predicted_selection(table.name());
+    let sql = predicted.to_sql();
+    println!("predicted: {sql}");
+    let reparsed = parse_selection(&sql).expect("rendered SQL parses back");
+    assert_eq!(reparsed, predicted, "SQL round-trip is lossless");
+
+    let predicted_rows = reparsed.evaluate(&table).expect("predicted evaluates");
+    let true_set: std::collections::HashSet<usize> = true_rows.into_iter().collect();
+    let tp = predicted_rows
+        .iter()
+        .filter(|r| true_set.contains(r))
+        .count();
+    let precision = tp as f64 / predicted_rows.len().max(1) as f64;
+    let recall = tp as f64 / true_set.len().max(1) as f64;
+    println!(
+        "  -> {} objects retrieved; precision {:.2}, recall {:.2} against the true query",
+        predicted_rows.len(),
+        precision,
+        recall
+    );
+}

@@ -1,0 +1,286 @@
+//! `aide` — command-line interactive data exploration.
+//!
+//! ```text
+//! aide generate --dataset sdss --rows 100000 --out sky.csv
+//! aide explore  --csv sky.csv --attrs rowc,colc
+//! aide query    --csv sky.csv --sql "SELECT * FROM data WHERE rowc < 500"
+//! aide simplify --sql "SELECT * FROM t WHERE a >= 1 AND a >= 2"
+//! ```
+//!
+//! `explore` runs the steering loop of the paper: each round extracts a
+//! small batch of strategically chosen rows, asks for `y`/`n` labels on
+//! stdin (one per row; `q` finishes), and prints the refined SQL query.
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use aide::core::{CallbackOracle, ExplorationSession, SessionConfig};
+use aide::data::csv::{read_csv, write_csv};
+use aide::data::{auction_like, sdss_like, Table};
+use aide::index::{ExtractionEngine, IndexKind};
+use aide::query::{parse_selection, simplify};
+use aide::util::rng::Xoshiro256pp;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        return usage("missing subcommand");
+    };
+    let flags = match Flags::parse(&args[1..]) {
+        Ok(f) => f,
+        Err(e) => return usage(&e),
+    };
+    let outcome = match command.as_str() {
+        "generate" => cmd_generate(&flags),
+        "describe" => cmd_describe(&flags),
+        "explore" => cmd_explore(&flags),
+        "query" => cmd_query(&flags),
+        "simplify" => cmd_simplify(&flags),
+        other => return usage(&format!("unknown subcommand `{other}`")),
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("error: {err}");
+    eprintln!(
+        "usage:\n  aide generate --dataset sdss|auction --rows N --out FILE [--seed N]\n  \
+         aide describe --csv FILE\n  \
+         aide explore --csv FILE --attrs a,b[,c...] [--batch N] [--max-iter N] [--seed N]\n  \
+         aide query --csv FILE --sql QUERY [--limit N]\n  \
+         aide simplify --sql QUERY"
+    );
+    ExitCode::FAILURE
+}
+
+/// Minimal `--flag value` parser.
+struct Flags(Vec<(String, String)>);
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut out = Vec::new();
+        let mut iter = args.iter();
+        while let Some(flag) = iter.next() {
+            let Some(name) = flag.strip_prefix("--") else {
+                return Err(format!("expected a --flag, found `{flag}`"));
+            };
+            let Some(value) = iter.next() else {
+                return Err(format!("flag --{name} needs a value"));
+            };
+            out.push((name.to_owned(), value.clone()));
+        }
+        Ok(Flags(out))
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.0
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn require(&self, name: &str) -> Result<&str, String> {
+        self.get(name)
+            .ok_or_else(|| format!("--{name} is required"))
+    }
+
+    fn parse_num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name} got a bad value `{v}`")),
+        }
+    }
+}
+
+fn cmd_generate(flags: &Flags) -> Result<(), String> {
+    let dataset = flags.require("dataset")?;
+    let rows: usize = flags.parse_num("rows", 100_000)?;
+    let out = flags.require("out")?;
+    let seed: u64 = flags.parse_num("seed", 1)?;
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    let table = match dataset {
+        "sdss" => sdss_like(rows).generate(&mut rng),
+        "auction" => auction_like(rows, &mut rng),
+        other => return Err(format!("unknown dataset `{other}` (sdss|auction)")),
+    };
+    let file = File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
+    let mut writer = BufWriter::new(file);
+    write_csv(&table, &mut writer).map_err(|e| e.to_string())?;
+    writer.flush().map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} rows of `{}` to {out}",
+        table.num_rows(),
+        table.name()
+    );
+    Ok(())
+}
+
+fn load_csv(path: &str) -> Result<Table, String> {
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    read_csv("data", BufReader::new(file)).map_err(|e| e.to_string())
+}
+
+fn cmd_describe(flags: &Flags) -> Result<(), String> {
+    let table = load_csv(flags.require("csv")?)?;
+    println!(
+        "{} rows, {} columns\n",
+        table.num_rows(),
+        table.num_columns()
+    );
+    println!(
+        "{:<20} {:>6} {:>9} {:>12} {:>12} {:>12} {:>12}",
+        "column", "type", "distinct", "min", "max", "mean", "std"
+    );
+    let fmt = |v: Option<f64>| match v {
+        Some(x) => format!("{x:.4}"),
+        None => "-".to_owned(),
+    };
+    for s in table.describe() {
+        println!(
+            "{:<20} {:>6} {:>9} {:>12} {:>12} {:>12} {:>12}",
+            s.name,
+            s.dtype.to_string(),
+            s.distinct,
+            fmt(s.min),
+            fmt(s.max),
+            fmt(s.mean),
+            fmt(s.std_dev)
+        );
+    }
+    Ok(())
+}
+
+fn cmd_explore(flags: &Flags) -> Result<(), String> {
+    let table = load_csv(flags.require("csv")?)?;
+    let attrs: Vec<&str> = flags.require("attrs")?.split(',').collect();
+    let batch: usize = flags.parse_num("batch", 10)?;
+    let max_iter: usize = flags.parse_num("max-iter", 50)?;
+    let seed: u64 = flags.parse_num("seed", 7)?;
+    let view = Arc::new(
+        table
+            .numeric_view(&attrs)
+            .map_err(|e| format!("bad exploration attributes: {e}"))?,
+    );
+    let engine = ExtractionEngine::from_arc(Arc::clone(&view), IndexKind::Grid);
+
+    println!(
+        "exploring {} rows over {:?}; label each shown row y/n, or q to finish\n",
+        table.num_rows(),
+        attrs
+    );
+    let table_for_oracle = table.clone();
+    let attrs_owned: Vec<String> = attrs.iter().map(|s| s.to_string()).collect();
+    let done = std::rc::Rc::new(std::cell::Cell::new(false));
+    let done_in_oracle = std::rc::Rc::clone(&done);
+    let stdin = std::io::stdin();
+    let oracle = CallbackOracle::new(move |sample: &aide::index::Sample| {
+        if done_in_oracle.get() {
+            return false;
+        }
+        let row = sample.row_id as usize;
+        let shown: Vec<String> = attrs_owned
+            .iter()
+            .map(|a| {
+                let v = table_for_oracle
+                    .column_by_name(a)
+                    .expect("attribute exists")
+                    .value(row);
+                format!("{a}={v}")
+            })
+            .collect();
+        loop {
+            print!("row {row}: {} — relevant? [y/n/q] ", shown.join(", "));
+            std::io::stdout().flush().expect("stdout");
+            let mut line = String::new();
+            if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+                done_in_oracle.set(true);
+                return false;
+            }
+            match line.trim().to_ascii_lowercase().as_str() {
+                "y" | "yes" => return true,
+                "n" | "no" => return false,
+                "q" | "quit" => {
+                    done_in_oracle.set(true);
+                    return false;
+                }
+                _ => println!("  please answer y, n or q"),
+            }
+        }
+    });
+    let mut session = ExplorationSession::with_oracle(
+        SessionConfig {
+            samples_per_iteration: batch,
+            ..SessionConfig::default()
+        },
+        engine,
+        Arc::clone(&view),
+        Box::new(oracle),
+        None,
+        Xoshiro256pp::seed_from_u64(seed),
+    );
+    for _ in 0..max_iter {
+        let report = session.run_iteration().clone();
+        if done.get() || report.new_samples == 0 {
+            break;
+        }
+        let sql = simplify(&session.predicted_selection("data")).to_sql();
+        println!(
+            "\n-- {} labels, {} relevant, {} region(s)\n-- {}\n",
+            report.total_labeled, report.relevant_labeled, report.num_regions, sql
+        );
+    }
+    let query = simplify(&session.predicted_selection("data"));
+    let matched = query.evaluate(&table).map_err(|e| e.to_string())?;
+    println!("\nfinal query: {}", query.to_sql());
+    println!(
+        "matches {} of {} rows after {} reviews",
+        matched.len(),
+        table.num_rows(),
+        session.reviewed()
+    );
+    if view.dims() == 2 {
+        println!(
+            "\npredicted regions (o) over the data (·/:):\n{}",
+            aide::core::viz::render_2d(&view, None, &session.relevant_regions(), 64, 20)
+        );
+    }
+    Ok(())
+}
+
+fn cmd_query(flags: &Flags) -> Result<(), String> {
+    let table = load_csv(flags.require("csv")?)?;
+    let sql = flags.require("sql")?;
+    let limit: usize = flags.parse_num("limit", 10)?;
+    let query = parse_selection(sql).map_err(|e| e.to_string())?;
+    let rows = query.evaluate(&table).map_err(|e| e.to_string())?;
+    println!("{} rows match", rows.len());
+    let header: Vec<&str> = table.schema().fields().iter().map(|f| f.name()).collect();
+    println!("{}", header.join("\t"));
+    for &row in rows.iter().take(limit) {
+        let cells: Vec<String> = (0..table.num_columns())
+            .map(|c| table.value(row, c).to_string())
+            .collect();
+        println!("{}", cells.join("\t"));
+    }
+    if rows.len() > limit {
+        println!("… ({} more; raise --limit to see them)", rows.len() - limit);
+    }
+    Ok(())
+}
+
+fn cmd_simplify(flags: &Flags) -> Result<(), String> {
+    let sql = flags.require("sql")?;
+    let query = parse_selection(sql).map_err(|e| e.to_string())?;
+    println!("{}", simplify(&query).to_sql());
+    Ok(())
+}

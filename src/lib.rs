@@ -1,0 +1,20 @@
+//! # AIDE — Automatic Interactive Data Exploration
+//!
+//! A from-scratch Rust reproduction of *Explore-by-Example: An Automatic
+//! Query Steering Framework for Interactive Data Exploration* (Dimitriadou,
+//! Papaemmanouil, Diao — SIGMOD 2014).
+//!
+//! This facade crate re-exports the public API of all workspace crates.
+//! Start with [`core::ExplorationSession`] (or the fluent
+//! [`core::Explorer`] builder) and the `examples/` directory.
+//!
+//! The README below doubles as the crate-level guide; its quickstart
+//! snippet is compiled as a doctest.
+#![doc = include_str!("../README.md")]
+
+pub use aide_core as core;
+pub use aide_data as data;
+pub use aide_index as index;
+pub use aide_ml as ml;
+pub use aide_query as query;
+pub use aide_util as util;

@@ -1,0 +1,176 @@
+//! End-to-end tests of the `aide` command-line tool: every subcommand is
+//! exercised through the real binary with temp files, including the
+//! interactive `explore` loop driven over a pipe.
+
+use std::io::Write;
+use std::process::{Command, Output, Stdio};
+
+fn aide() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_aide"))
+}
+
+fn tmp_path(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("aide_cli_test_{}_{name}", std::process::id()));
+    p
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn generate_describe_query_simplify_pipeline() {
+    let csv = tmp_path("pipeline.csv");
+    // generate
+    let out = aide()
+        .args([
+            "generate",
+            "--dataset",
+            "auction",
+            "--rows",
+            "3000",
+            "--out",
+            csv.to_str().unwrap(),
+            "--seed",
+            "5",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "generate failed: {}", stderr(&out));
+    assert!(stdout(&out).contains("wrote 3000 rows"));
+
+    // describe
+    let out = aide()
+        .args(["describe", "--csv", csv.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "describe failed: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("3000 rows, 7 columns"));
+    assert!(text.contains("current_price"));
+    assert!(text.contains("num_bids"));
+
+    // query
+    let out = aide()
+        .args([
+            "query",
+            "--csv",
+            csv.to_str().unwrap(),
+            "--sql",
+            "SELECT * FROM data WHERE current_price < 5",
+            "--limit",
+            "2",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "query failed: {}", stderr(&out));
+    assert!(stdout(&out).contains("rows match"));
+
+    // simplify
+    let out = aide()
+        .args([
+            "simplify",
+            "--sql",
+            "SELECT * FROM t WHERE a >= 1 AND a >= 3 AND a <= 9",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    assert_eq!(
+        stdout(&out).trim(),
+        "SELECT * FROM t WHERE (a >= 3 AND a <= 9)"
+    );
+
+    std::fs::remove_file(&csv).ok();
+}
+
+#[test]
+fn explore_runs_with_piped_labels() {
+    let csv = tmp_path("explore.csv");
+    let out = aide()
+        .args([
+            "generate",
+            "--dataset",
+            "sdss",
+            "--rows",
+            "5000",
+            "--out",
+            csv.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", stderr(&out));
+
+    let mut child = aide()
+        .args([
+            "explore",
+            "--csv",
+            csv.to_str().unwrap(),
+            "--attrs",
+            "rowc,colc",
+            "--batch",
+            "4",
+            "--max-iter",
+            "2",
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn explore");
+    {
+        let stdin = child.stdin.as_mut().expect("piped stdin");
+        // Label a couple of rows, then quit.
+        stdin.write_all(b"y\nn\ny\nn\nq\n").expect("write labels");
+    }
+    let out = child.wait_with_output().expect("explore finishes");
+    assert!(out.status.success(), "explore failed: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("final query: SELECT * FROM data"));
+    assert!(text.contains("reviews"));
+
+    std::fs::remove_file(&csv).ok();
+}
+
+#[test]
+fn bad_invocations_fail_with_usage() {
+    let out = aide().output().expect("binary runs");
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("usage:"));
+
+    let out = aide().args(["frobnicate"]).output().expect("binary runs");
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown subcommand"));
+
+    let out = aide()
+        .args(["generate", "--dataset", "sdss"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("--out is required"));
+
+    let out = aide()
+        .args([
+            "query",
+            "--csv",
+            "/nonexistent.csv",
+            "--sql",
+            "SELECT * FROM t",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("cannot open"));
+
+    let out = aide()
+        .args(["simplify", "--sql", "SELECT broken"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("parse error"));
+}

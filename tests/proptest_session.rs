@@ -1,0 +1,147 @@
+//! Property-based tests over whole exploration sessions: invariants that
+//! must hold for any workload, seed or configuration.
+
+use std::sync::Arc;
+
+use aide::core::{DiscoveryStrategy, ExplorationSession, SessionConfig, SizeClass, TargetQuery};
+use aide::data::view::{Domain, SpaceMapper};
+use aide::data::NumericView;
+use aide::index::{ExtractionEngine, IndexKind};
+use aide::query::parse_selection;
+use aide::util::rng::{Rng, Xoshiro256pp};
+use proptest::prelude::*;
+
+fn make_view(n: usize, seed: u64) -> NumericView {
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    let mapper = SpaceMapper::new(
+        vec!["x".into(), "y".into()],
+        vec![Domain::new(0.0, 100.0); 2],
+    );
+    let data: Vec<f64> = (0..n * 2).map(|_| rng.uniform(0.0, 100.0)).collect();
+    NumericView::new(mapper, data, (0..n as u32).collect())
+}
+
+fn strategy_choice() -> impl Strategy<Value = DiscoveryStrategy> {
+    prop_oneof![
+        Just(DiscoveryStrategy::Grid),
+        Just(DiscoveryStrategy::Clustering),
+        Just(DiscoveryStrategy::Hybrid),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Across arbitrary seeds, sizes and strategies, every iteration
+    /// respects the sample budget, labels grow monotonically, the
+    /// relevant count never exceeds the total, and the labeled rows stay
+    /// unique and in range.
+    #[test]
+    fn session_invariants_hold(
+        data_seed in 0u64..1_000,
+        session_seed in 0u64..1_000,
+        n in 500usize..3_000,
+        budget in 5usize..30,
+        strategy in strategy_choice(),
+        areas in 1usize..4,
+    ) {
+        let view = Arc::new(make_view(n, data_seed));
+        let mut rng = Xoshiro256pp::seed_from_u64(data_seed ^ 0xABCD);
+        let target = TargetQuery::generate(&view, areas, SizeClass::Large, 2, &mut rng);
+        let config = SessionConfig {
+            samples_per_iteration: budget,
+            discovery_strategy: strategy,
+            cluster_k0: 8,
+            cluster_fit_cap: 2_000,
+            ..SessionConfig::default()
+        };
+        let engine = ExtractionEngine::from_arc(Arc::clone(&view), IndexKind::Grid);
+        let mut session = ExplorationSession::new(
+            config,
+            engine,
+            Arc::clone(&view),
+            target,
+            Xoshiro256pp::seed_from_u64(session_seed),
+        );
+        let mut prev_total = 0usize;
+        for _ in 0..8 {
+            let r = session.run_iteration().clone();
+            prop_assert!(r.new_samples <= budget, "budget exceeded: {}", r.new_samples);
+            prop_assert_eq!(
+                r.new_samples,
+                r.discovery_samples + r.misclass_samples + r.boundary_samples
+            );
+            prop_assert!(r.total_labeled >= prev_total);
+            prop_assert!(r.relevant_labeled <= r.total_labeled);
+            prop_assert!((0.0..=1.0).contains(&r.f_measure));
+            prop_assert!(r.precision <= 1.0 && r.recall <= 1.0);
+            prev_total = r.total_labeled;
+        }
+        // Labeled rows are unique and refer to real table rows.
+        let labeled = session.labeled();
+        prop_assert_eq!(labeled.seen_rows().len(), labeled.len());
+        prop_assert!(labeled.seen_rows().iter().all(|&r| (r as usize) < n));
+        // The oracle reviewed at least as many objects as were kept.
+        prop_assert!(session.reviewed() >= labeled.len());
+    }
+
+    /// The predicted query always parses back from its own SQL, and its
+    /// number of disjuncts equals the model's region count.
+    #[test]
+    fn predicted_query_is_always_well_formed(
+        data_seed in 0u64..500,
+        session_seed in 0u64..500,
+    ) {
+        let view = Arc::new(make_view(2_000, data_seed));
+        let mut rng = Xoshiro256pp::seed_from_u64(data_seed ^ 0x77);
+        let target = TargetQuery::generate(&view, 1, SizeClass::Large, 2, &mut rng);
+        let engine = ExtractionEngine::from_arc(Arc::clone(&view), IndexKind::Grid);
+        let mut session = ExplorationSession::new(
+            SessionConfig::default(),
+            engine,
+            Arc::clone(&view),
+            target,
+            Xoshiro256pp::seed_from_u64(session_seed),
+        );
+        for _ in 0..6 {
+            session.run_iteration();
+            let query = session.predicted_selection("t");
+            prop_assert_eq!(query.disjuncts.len(), session.relevant_regions().len());
+            let parsed = parse_selection(&query.to_sql()).expect("rendered SQL parses");
+            prop_assert_eq!(parsed, query);
+        }
+    }
+
+    /// Two sessions with identical seeds and workloads produce identical
+    /// traces — full determinism end to end.
+    #[test]
+    fn sessions_are_deterministic(seed in 0u64..500) {
+        let run = || {
+            let view = Arc::new(make_view(1_500, seed));
+            let mut rng = Xoshiro256pp::seed_from_u64(seed ^ 0x99);
+            let target = TargetQuery::generate(&view, 1, SizeClass::Medium, 2, &mut rng);
+            let engine = ExtractionEngine::from_arc(Arc::clone(&view), IndexKind::Grid);
+            let mut session = ExplorationSession::new(
+                SessionConfig::default(),
+                engine,
+                Arc::clone(&view),
+                target,
+                Xoshiro256pp::seed_from_u64(seed),
+            );
+            for _ in 0..6 {
+                session.run_iteration();
+            }
+            (
+                session
+                    .history()
+                    .iter()
+                    .map(|r| (r.total_labeled, r.relevant_labeled))
+                    .collect::<Vec<_>>(),
+                session.predicted_selection("t").to_sql(),
+            )
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a, b);
+    }
+}

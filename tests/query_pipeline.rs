@@ -1,0 +1,150 @@
+//! Integration tests for the model → query → SQL pipeline: the white-box
+//! property AIDE depends on (§2.2) must hold across crate boundaries.
+
+use std::io::Cursor;
+use std::sync::Arc;
+
+use aide::core::{ExplorationSession, SessionConfig, SizeClass, StopCondition, TargetQuery};
+use aide::data::csv::{read_csv, write_csv};
+use aide::data::sdss_like;
+use aide::index::{ExtractionEngine, IndexKind};
+use aide::ml::{DecisionTree, TreeParams};
+use aide::query::{parse_selection, Selection};
+use aide::util::geom::Rect;
+use aide::util::rng::{Rng, Xoshiro256pp};
+
+/// Tree predictions and the formulated query must agree tuple-by-tuple.
+#[test]
+fn tree_and_formulated_query_classify_identically() {
+    let mut rng = Xoshiro256pp::seed_from_u64(1);
+    let table = sdss_like(40_000).generate(&mut rng);
+    let view = table.numeric_view(&["rowc", "colc"]).unwrap();
+
+    // Train a tree on a synthetic labeling.
+    let truth = Rect::new(vec![30.0, 40.0], vec![45.0, 60.0]);
+    let n = 600;
+    let mut data = Vec::with_capacity(n * 2);
+    let mut labels = Vec::with_capacity(n);
+    for _ in 0..n {
+        let p = [rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)];
+        data.extend_from_slice(&p);
+        labels.push(truth.contains(&p));
+    }
+    let tree = DecisionTree::fit(2, &data, &labels, &TreeParams::default());
+
+    // Formulate the query in raw coordinates.
+    let mapper = view.mapper();
+    let rects: Vec<Rect> = tree
+        .relevant_regions(&Rect::full_domain(2))
+        .iter()
+        .map(|r| mapper.denormalize_rect(r))
+        .collect();
+    let query = Selection::from_regions(table.name(), mapper.attrs(), mapper.domains(), &rects);
+    let compiled = query.compile(&table).unwrap();
+
+    // Agreement over every tuple (split thresholds are sample midpoints,
+    // so no tuple sits exactly on a region face).
+    let mut disagreements = 0usize;
+    for row in 0..table.num_rows() {
+        let by_tree = tree.predict(view.point(row));
+        let by_query = compiled.matches(&table, row);
+        if by_tree != by_query {
+            disagreements += 1;
+        }
+    }
+    assert_eq!(
+        disagreements, 0,
+        "{disagreements} tuples classified differently"
+    );
+}
+
+/// A steering session's predicted SQL must parse back and return exactly
+/// the rows its model classifies relevant.
+#[test]
+fn predicted_sql_round_trips_and_matches_the_model() {
+    let mut rng = Xoshiro256pp::seed_from_u64(2);
+    let table = sdss_like(50_000).generate(&mut rng);
+    let view = Arc::new(table.numeric_view(&["rowc", "colc"]).unwrap());
+    let target = TargetQuery::generate(&view, 1, SizeClass::Medium, 2, &mut rng);
+    let engine = ExtractionEngine::from_arc(Arc::clone(&view), IndexKind::Grid);
+    let mut session = ExplorationSession::new(
+        SessionConfig::default(),
+        engine,
+        Arc::clone(&view),
+        target,
+        Xoshiro256pp::seed_from_u64(3),
+    );
+    session.run(StopCondition {
+        target_f: Some(0.75),
+        max_labels: Some(1_200),
+        max_iterations: 120,
+    });
+    let query = session.predicted_selection(table.name());
+    let reparsed = parse_selection(&query.to_sql()).expect("rendered SQL parses");
+    assert_eq!(reparsed, query);
+
+    let tree = session.tree().expect("model trained");
+    let retrieved = reparsed.evaluate(&table).unwrap();
+    let by_model: Vec<usize> = (0..table.num_rows())
+        .filter(|&row| tree.predict(view.point(row)))
+        .collect();
+    assert_eq!(retrieved, by_model, "SQL result differs from model");
+}
+
+/// Exporting the exploration data to CSV and importing it back yields an
+/// equivalent exploration substrate.
+#[test]
+fn csv_round_trip_preserves_the_exploration_view() {
+    let mut rng = Xoshiro256pp::seed_from_u64(4);
+    let table = sdss_like(2_000).generate(&mut rng);
+    let mut buf = Vec::new();
+    write_csv(&table, &mut buf).unwrap();
+    let back = read_csv("photoobjall", Cursor::new(buf)).unwrap();
+    assert_eq!(back.num_rows(), table.num_rows());
+    let a = table.numeric_view(&["rowc", "colc"]).unwrap();
+    let b = back.numeric_view(&["rowc", "colc"]).unwrap();
+    assert_eq!(a.len(), b.len());
+    for i in 0..a.len() {
+        for d in 0..2 {
+            assert!(
+                (a.point(i)[d] - b.point(i)[d]).abs() < 1e-9,
+                "view drifted at point {i} dim {d}"
+            );
+        }
+    }
+}
+
+/// The paper's Figure 2 example, from raw values to SQL and back.
+#[test]
+fn figure2_example_full_pipeline() {
+    use aide::data::{DataType, Schema, TableBuilder, Value};
+    let schema =
+        Schema::from_pairs(&[("age", DataType::Float), ("dosage", DataType::Float)]).unwrap();
+    let mut b = TableBuilder::new("trials", schema);
+    let mut rng = Xoshiro256pp::seed_from_u64(5);
+    for _ in 0..5_000 {
+        b.push_row(vec![
+            Value::Float(rng.uniform(0.0, 80.0)),
+            Value::Float(rng.uniform(0.0, 15.0)),
+        ])
+        .unwrap();
+    }
+    let table = b.finish();
+    let relevant = |age: f64, dosage: f64| {
+        (age <= 20.0 && dosage > 10.0 && dosage <= 15.0)
+            || (age > 20.0 && age <= 40.0 && dosage <= 10.0)
+    };
+    let sql = "SELECT * FROM trials WHERE (age <= 20 AND dosage > 10 AND dosage <= 15) \
+               OR (age > 20 AND age <= 40 AND dosage <= 10)";
+    let query = parse_selection(sql).unwrap();
+    let rows = query.evaluate(&table).unwrap();
+    let age_col = table.column_by_name("age").unwrap();
+    let dosage_col = table.column_by_name("dosage").unwrap();
+    for row in 0..table.num_rows() {
+        let expected = relevant(
+            age_col.f64_at(row).unwrap(),
+            dosage_col.f64_at(row).unwrap(),
+        );
+        assert_eq!(rows.binary_search(&row).is_ok(), expected, "row {row}");
+    }
+}
