@@ -7,11 +7,11 @@ use aide_bench::harness::{dense_view, sampled_replica, sdss_table, workloads, Ex
 use aide_core::{ExplorationSession, SessionConfig, SizeClass};
 use aide_data::NumericView;
 use aide_index::{ExtractionEngine, IndexKind};
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use aide_testkit::bench::Harness;
 
-fn bench_dataset_scale(c: &mut Criterion) {
-    let mut group = c.benchmark_group("dataset_scale");
-    group.sample_size(10);
+fn main() {
+    let mut h = Harness::from_args("dataset_scale");
+    let mut group = h.group("dataset_scale");
     for rows in [50_000usize, 200_000] {
         let table = sdss_table(rows, 1);
         let full = Arc::new(dense_view(&table));
@@ -26,40 +26,36 @@ fn bench_dataset_scale(c: &mut Criterion) {
             let sample_view = Arc::clone(sample_view);
             let eval_view = Arc::clone(&full);
             let w = w.clone();
-            group.bench_function(name, move |b| {
-                b.iter_batched(
-                    || {
-                        let engine =
-                            ExtractionEngine::from_arc(Arc::clone(&sample_view), IndexKind::Grid);
-                        ExplorationSession::new(
-                            SessionConfig {
-                                // Evaluation over the full view dominates
-                                // otherwise; the paper's system time
-                                // excludes accuracy evaluation.
-                                eval_every: usize::MAX,
-                                ..SessionConfig::default()
-                            },
-                            engine,
-                            Arc::clone(&eval_view),
-                            w.target.clone(),
-                            w.rng.clone(),
-                        )
-                    },
-                    |mut session| {
-                        for _ in 0..10 {
-                            session.run_iteration();
-                        }
-                        session
-                    },
-                    BatchSize::LargeInput,
-                );
-            });
+            group.bench_batched(
+                &name,
+                || {
+                    let engine =
+                        ExtractionEngine::from_arc(Arc::clone(&sample_view), IndexKind::Grid);
+                    ExplorationSession::new(
+                        SessionConfig {
+                            // Evaluation over the full view dominates
+                            // otherwise; the paper's system time
+                            // excludes accuracy evaluation.
+                            eval_every: usize::MAX,
+                            ..SessionConfig::default()
+                        },
+                        engine,
+                        Arc::clone(&eval_view),
+                        w.target.clone(),
+                        w.rng.clone(),
+                    )
+                },
+                |mut session| {
+                    for _ in 0..10 {
+                        session.run_iteration();
+                    }
+                    session
+                },
+            );
         };
         run(format!("full/{rows}"), &full);
         run(format!("sampled10pct/{rows}"), &sampled);
     }
-    group.finish();
+    drop(group);
+    h.finish();
 }
-
-criterion_group!(benches, bench_dataset_scale);
-criterion_main!(benches);

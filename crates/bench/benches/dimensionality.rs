@@ -6,12 +6,12 @@ use std::sync::Arc;
 use aide_bench::harness::{multi_dim_view, sdss_table, workloads, ExpOptions};
 use aide_core::{ExplorationSession, SessionConfig, SizeClass};
 use aide_index::{ExtractionEngine, IndexKind};
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use aide_testkit::bench::Harness;
 
-fn bench_dimensionality(c: &mut Criterion) {
+fn main() {
     let table = sdss_table(50_000, 1);
-    let mut group = c.benchmark_group("dimensionality");
-    group.sample_size(10);
+    let mut h = Harness::from_args("dimensionality");
+    let mut group = h.group("dimensionality");
     for dims in 2..=5usize {
         let view = Arc::new(multi_dim_view(&table, dims));
         let options = ExpOptions {
@@ -20,35 +20,31 @@ fn bench_dimensionality(c: &mut Criterion) {
             seed: 11,
         };
         let w = workloads(&view, 1, SizeClass::Large, 2, &options, 0xA0)[0].clone();
-        group.bench_function(format!("{dims}d"), |b| {
-            b.iter_batched(
-                || {
-                    let engine = ExtractionEngine::from_arc(Arc::clone(&view), IndexKind::Grid);
-                    ExplorationSession::new(
-                        SessionConfig {
-                            // The paper's system time excludes accuracy
-                            // evaluation (a harness-only step).
-                            eval_every: usize::MAX,
-                            ..SessionConfig::default()
-                        },
-                        engine,
-                        Arc::clone(&view),
-                        w.target.clone(),
-                        w.rng.clone(),
-                    )
-                },
-                |mut session| {
-                    for _ in 0..10 {
-                        session.run_iteration();
-                    }
-                    session
-                },
-                BatchSize::LargeInput,
-            );
-        });
+        group.bench_batched(
+            &format!("{dims}d"),
+            || {
+                let engine = ExtractionEngine::from_arc(Arc::clone(&view), IndexKind::Grid);
+                ExplorationSession::new(
+                    SessionConfig {
+                        // The paper's system time excludes accuracy
+                        // evaluation (a harness-only step).
+                        eval_every: usize::MAX,
+                        ..SessionConfig::default()
+                    },
+                    engine,
+                    Arc::clone(&view),
+                    w.target.clone(),
+                    w.rng.clone(),
+                )
+            },
+            |mut session| {
+                for _ in 0..10 {
+                    session.run_iteration();
+                }
+                session
+            },
+        );
     }
-    group.finish();
+    drop(group);
+    h.finish();
 }
-
-criterion_group!(benches, bench_dimensionality);
-criterion_main!(benches);

@@ -7,9 +7,9 @@ use std::sync::Arc;
 use aide_bench::harness::{dense_view, sdss_table, workloads, ExpOptions};
 use aide_core::{ExplorationSession, SessionConfig, SizeClass};
 use aide_index::{ExtractionEngine, IndexKind};
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use aide_testkit::bench::Harness;
 
-fn bench_iteration_time(c: &mut Criterion) {
+fn main() {
     let table = sdss_table(50_000, 1);
     let view = Arc::new(dense_view(&table));
     let options = ExpOptions {
@@ -17,43 +17,39 @@ fn bench_iteration_time(c: &mut Criterion) {
         sessions: 1,
         seed: 7,
     };
-    let mut group = c.benchmark_group("iteration_time");
-    group.sample_size(10);
+    let mut h = Harness::from_args("iteration_time");
+    let mut group = h.group("iteration_time");
     for (name, size) in [
         ("large", SizeClass::Large),
         ("medium", SizeClass::Medium),
         ("small", SizeClass::Small),
     ] {
         let w = workloads(&view, 1, size, 2, &options, 0xC0DE)[0].clone();
-        group.bench_function(name, |b| {
-            b.iter_batched(
-                || {
-                    let engine = ExtractionEngine::from_arc(Arc::clone(&view), IndexKind::Grid);
-                    ExplorationSession::new(
-                        SessionConfig {
-                            // The paper's system time excludes accuracy
-                            // evaluation (a harness-only step).
-                            eval_every: usize::MAX,
-                            ..SessionConfig::default()
-                        },
-                        engine,
-                        Arc::clone(&view),
-                        w.target.clone(),
-                        w.rng.clone(),
-                    )
-                },
-                |mut session| {
-                    for _ in 0..10 {
-                        session.run_iteration();
-                    }
-                    session
-                },
-                BatchSize::LargeInput,
-            );
-        });
+        group.bench_batched(
+            name,
+            || {
+                let engine = ExtractionEngine::from_arc(Arc::clone(&view), IndexKind::Grid);
+                ExplorationSession::new(
+                    SessionConfig {
+                        // The paper's system time excludes accuracy
+                        // evaluation (a harness-only step).
+                        eval_every: usize::MAX,
+                        ..SessionConfig::default()
+                    },
+                    engine,
+                    Arc::clone(&view),
+                    w.target.clone(),
+                    w.rng.clone(),
+                )
+            },
+            |mut session| {
+                for _ in 0..10 {
+                    session.run_iteration();
+                }
+                session
+            },
+        );
     }
-    group.finish();
+    drop(group);
+    h.finish();
 }
-
-criterion_group!(benches, bench_iteration_time);
-criterion_main!(benches);

@@ -9,8 +9,8 @@ use aide_bench::harness::{dense_view, sdss_table};
 use aide_core::misclassified::exploit_misclassified;
 use aide_core::{LabeledSet, SessionConfig};
 use aide_index::{ExtractionEngine, IndexKind, Sample};
+use aide_testkit::bench::Harness;
 use aide_util::rng::{Rng, Xoshiro256pp};
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
 /// Builds a labeled set whose false negatives form `groups` clusters of
 /// `per_group` points each.
@@ -37,11 +37,11 @@ fn fn_set(groups: usize, per_group: usize, rng: &mut Xoshiro256pp) -> (LabeledSe
     (set, indices)
 }
 
-fn bench_misclassified(c: &mut Criterion) {
+fn main() {
     let table = sdss_table(100_000, 1);
     let view = Arc::new(dense_view(&table));
-    let mut group = c.benchmark_group("misclassified");
-    group.sample_size(20);
+    let mut h = Harness::from_args("misclassified");
+    let mut group = h.group("misclassified");
     for clusters in [2usize, 5] {
         let mut rng = Xoshiro256pp::seed_from_u64(5);
         let (labeled, fns) = fn_set(clusters, 8, &mut rng);
@@ -53,34 +53,30 @@ fn bench_misclassified(c: &mut Criterion) {
             let labeled = labeled.clone();
             let fns = fns.clone();
             let view = Arc::clone(&view);
-            group.bench_function(format!("{name}/{clusters}groups"), move |b| {
-                b.iter_batched(
-                    || {
-                        (
-                            ExtractionEngine::from_arc(Arc::clone(&view), IndexKind::Grid),
-                            Xoshiro256pp::seed_from_u64(9),
-                        )
-                    },
-                    |(mut engine, mut rng)| {
-                        exploit_misclassified(
-                            &config,
-                            &labeled,
-                            &fns,
-                            clusters,
-                            &[],
-                            200,
-                            &mut engine,
-                            &HashSet::new(),
-                            &mut rng,
-                        )
-                    },
-                    BatchSize::LargeInput,
-                );
-            });
+            group.bench_batched(
+                &format!("{name}/{clusters}groups"),
+                || {
+                    (
+                        ExtractionEngine::from_arc(Arc::clone(&view), IndexKind::Grid),
+                        Xoshiro256pp::seed_from_u64(9),
+                    )
+                },
+                |(mut engine, mut rng)| {
+                    exploit_misclassified(
+                        &config,
+                        &labeled,
+                        &fns,
+                        clusters,
+                        &[],
+                        200,
+                        &mut engine,
+                        &HashSet::new(),
+                        &mut rng,
+                    )
+                },
+            );
         }
     }
-    group.finish();
+    drop(group);
+    h.finish();
 }
-
-criterion_group!(benches, bench_misclassified);
-criterion_main!(benches);

@@ -9,10 +9,9 @@ use aide_bench::harness::{dense_view, sdss_table};
 use aide_index::{ExtractionEngine, IndexKind};
 use aide_ml::{DecisionTree, KMeans, TreeParams};
 use aide_query::parse_selection;
+use aide_testkit::bench::{black_box, Harness};
 use aide_util::geom::Rect;
 use aide_util::rng::{Rng, Xoshiro256pp};
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
 
 fn training_set(n: usize, seed: u64) -> (Vec<f64>, Vec<bool>) {
     let mut rng = Xoshiro256pp::seed_from_u64(seed);
@@ -28,42 +27,40 @@ fn training_set(n: usize, seed: u64) -> (Vec<f64>, Vec<bool>) {
     (data, labels)
 }
 
-fn bench_substrate(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::from_args("substrate");
+
     // --- CART training ----------------------------------------------------
-    let mut group = c.benchmark_group("substrate/cart_fit");
+    let mut group = h.group("substrate/cart_fit");
     for n in [200usize, 1_000] {
         let (data, labels) = training_set(n, 3);
-        group.bench_function(format!("{n}_samples"), |b| {
-            b.iter(|| {
-                DecisionTree::fit(
-                    2,
-                    black_box(&data),
-                    black_box(&labels),
-                    &TreeParams::default(),
-                )
-            });
+        group.bench(&format!("{n}_samples"), || {
+            DecisionTree::fit(
+                2,
+                black_box(&data),
+                black_box(&labels),
+                &TreeParams::default(),
+            )
         });
     }
-    group.finish();
+    drop(group);
 
     // --- k-means ------------------------------------------------------------
-    let mut group = c.benchmark_group("substrate/kmeans");
+    let mut group = h.group("substrate/kmeans");
     let (data, _) = training_set(5_000, 4);
     for k in [16usize, 64] {
-        group.bench_function(format!("k{k}_5000pts"), |b| {
-            b.iter(|| {
-                let mut rng = Xoshiro256pp::seed_from_u64(7);
-                KMeans::fit(2, black_box(&data), k, &mut rng)
-            });
+        group.bench(&format!("k{k}_5000pts"), || {
+            let mut rng = Xoshiro256pp::seed_from_u64(7);
+            KMeans::fit(2, black_box(&data), k, &mut rng)
         });
     }
-    group.finish();
+    drop(group);
 
     // --- Rectangle queries: grid vs kd-tree vs scan -------------------------
     let table = sdss_table(200_000, 1);
     let view = Arc::new(dense_view(&table));
     let rect = Rect::new(vec![40.0, 55.0], vec![48.0, 63.0]);
-    let mut group = c.benchmark_group("substrate/region_query");
+    let mut group = h.group("substrate/region_query");
     for kind in [
         IndexKind::Grid,
         IndexKind::KdTree,
@@ -73,25 +70,22 @@ fn bench_substrate(c: &mut Criterion) {
         let mut engine = ExtractionEngine::from_arc(Arc::clone(&view), kind);
         let name = format!("{kind:?}").to_lowercase();
         let rect = rect.clone();
-        group.bench_function(name, move |b| {
-            b.iter(|| engine.count_in(black_box(&rect)));
-        });
+        group.bench(&name, move || engine.count_in(black_box(&rect)));
     }
-    group.finish();
+    drop(group);
 
     // --- SQL evaluation over the column store --------------------------------
-    let mut group = c.benchmark_group("substrate/sql_eval");
+    let mut group = h.group("substrate/sql_eval");
     let sql = "SELECT * FROM photoobjall WHERE (rowc >= 800 AND rowc <= 960 \
                AND colc >= 1100 AND colc <= 1260) OR (ra >= 180 AND ra <= 200)";
     let query = parse_selection(sql).expect("benchmark query parses");
-    group.bench_function("disjunctive_200k_rows", |b| {
-        b.iter(|| query.evaluate(black_box(&table)).expect("valid query"));
+    group.bench("disjunctive_200k_rows", || {
+        query.evaluate(black_box(&table)).expect("valid query")
     });
-    group.bench_function("parse", |b| {
-        b.iter(|| parse_selection(black_box(sql)).expect("valid query"));
+    group.bench("parse", || {
+        parse_selection(black_box(sql)).expect("valid query")
     });
-    group.finish();
-}
+    drop(group);
 
-criterion_group!(benches, bench_substrate);
-criterion_main!(benches);
+    h.finish();
+}

@@ -1,36 +1,52 @@
 //! Property-based tests for the data layer: CSV round-trips, domain
-//! normalization, and sampling invariants.
+//! normalization, and sampling invariants — on the hermetic
+//! `aide-testkit` harness.
 
 use std::io::Cursor;
 
 use aide_data::csv::{read_csv, write_csv};
 use aide_data::view::Domain;
 use aide_data::{DataType, Schema, TableBuilder, Value};
+use aide_testkit::prop::gen;
+use aide_testkit::{forall, prop_assert, prop_assert_eq};
 use aide_util::rng::Xoshiro256pp;
-use proptest::prelude::*;
 
-fn table_strategy() -> impl Strategy<Value = aide_data::Table> {
-    // Text that can never be mistaken for a number by type inference,
-    // while still covering the quoting paths (commas, quotes, spaces).
-    let cell_text = "[xyz ,\"]{0,12}";
-    proptest::collection::vec((any::<i64>(), -1e9f64..1e9, cell_text), 0..60).prop_map(|rows| {
-        let schema = Schema::from_pairs(&[
-            ("id", DataType::Int),
-            ("value", DataType::Float),
-            ("note", DataType::Text),
-        ])
-        .expect("static schema");
-        let mut b = TableBuilder::new("t", schema);
-        for (id, value, note) in rows {
-            b.push_row(vec![Value::Int(id), Value::Float(value), Value::Text(note)])
-                .expect("typed row");
-        }
-        b.finish()
-    })
+/// Raw rows for a three-column table; the `Table` is built inside each
+/// property so the rows keep shrinking. The text alphabet can never be
+/// mistaken for a number by type inference, while still covering the
+/// quoting paths (commas, quotes, spaces).
+fn row_gen() -> impl gen::Gen<Value = Vec<(i64, f64, String)>> {
+    gen::vec_of(
+        (
+            gen::any_i64(),
+            gen::f64_in(-1e9..1e9),
+            gen::string_of("xyz ,\"", 0..13),
+        ),
+        0..60,
+    )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn build_table(rows: &[(i64, f64, String)]) -> aide_data::Table {
+    let schema = Schema::from_pairs(&[
+        ("id", DataType::Int),
+        ("value", DataType::Float),
+        ("note", DataType::Text),
+    ])
+    .expect("static schema");
+    let mut b = TableBuilder::new("t", schema);
+    for (id, value, note) in rows {
+        b.push_row(vec![
+            Value::Int(*id),
+            Value::Float(*value),
+            Value::Text(note.clone()),
+        ])
+        .expect("typed row");
+    }
+    b.finish()
+}
+
+forall! {
+    cases = 64;
 
     /// Writing a table to CSV and reading it back preserves every cell.
     ///
@@ -39,8 +55,8 @@ proptest! {
     /// recovers the exact bit pattern; text columns may be inferred as a
     /// narrower type if every value happens to look numeric, so we only
     /// compare display forms there.
-    #[test]
-    fn csv_round_trip_preserves_cells(table in table_strategy()) {
+    fn csv_round_trip_preserves_cells(rows in row_gen()) {
+        let table = build_table(&rows);
         let mut buf = Vec::new();
         write_csv(&table, &mut buf).expect("write succeeds");
         let back = read_csv("t", Cursor::new(&buf)).expect("read succeeds");
@@ -58,8 +74,11 @@ proptest! {
     }
 
     /// Normalization maps into [0, 100] and denormalization inverts it.
-    #[test]
-    fn domain_round_trips(lo in -1e9f64..1e9, width in 0.0f64..1e9, t in 0.0f64..100.0) {
+    fn domain_round_trips(
+        lo in gen::f64_in(-1e9..1e9),
+        width in gen::f64_in(0.0..1e9),
+        t in gen::f64_in(0.0..100.0),
+    ) {
         let d = Domain::new(lo, lo + width);
         let raw = d.denormalize(t);
         prop_assert!(raw >= lo - 1e-6 && raw <= lo + width + 1e-6);
@@ -71,8 +90,11 @@ proptest! {
 
     /// Simple random sampling returns the requested fraction of distinct
     /// rows with all values drawn from the original table.
-    #[test]
-    fn sample_fraction_contract(n in 1usize..500, fraction in 0.0f64..1.0, seed in any::<u64>()) {
+    fn sample_fraction_contract(
+        n in gen::usize_in(1..500),
+        fraction in gen::f64_in(0.0..1.0),
+        seed in gen::any_u64(),
+    ) {
         let schema = Schema::from_pairs(&[("x", DataType::Int)]).expect("schema");
         let mut b = TableBuilder::new("t", schema);
         for i in 0..n {

@@ -1,5 +1,6 @@
 //! Property-based tests: every access path answers rectangle queries
-//! identically to a brute-force scan, and sampling honors its contract.
+//! identically to a brute-force scan, and sampling honors its contract —
+//! running on the hermetic `aide-testkit` harness.
 
 use std::collections::HashSet;
 
@@ -8,40 +9,51 @@ use aide_data::NumericView;
 use aide_index::{
     ExtractionEngine, GridIndex, IndexKind, KdTree, RegionIndex, ScanIndex, SortedIndex,
 };
+use aide_testkit::prop::gen;
+use aide_testkit::{forall, prop_assert, prop_assert_eq};
 use aide_util::geom::Rect;
 use aide_util::rng::Xoshiro256pp;
-use proptest::prelude::*;
 
-fn view_strategy() -> impl Strategy<Value = NumericView> {
-    proptest::collection::vec((0.0f64..100.0, 0.0f64..100.0), 0..300).prop_map(|points| {
-        let mapper = SpaceMapper::new(
-            vec!["x".into(), "y".into()],
-            vec![Domain::new(0.0, 100.0); 2],
-        );
-        let data: Vec<f64> = points.iter().flat_map(|&(x, y)| [x, y]).collect();
-        let n = points.len();
-        NumericView::new(mapper, data, (0..n as u32).collect())
-    })
+/// Raw 2-d points in the normalized space; the `NumericView` is built in
+/// the property body so the point list keeps shrinking.
+fn points_gen() -> impl gen::Gen<Value = Vec<(f64, f64)>> {
+    gen::vec_of((gen::f64_in(0.0..100.0), gen::f64_in(0.0..100.0)), 0..300)
 }
 
-fn rect_strategy() -> impl Strategy<Value = Rect> {
+fn view_from(points: &[(f64, f64)]) -> NumericView {
+    let mapper = SpaceMapper::new(
+        vec!["x".into(), "y".into()],
+        vec![Domain::new(0.0, 100.0); 2],
+    );
+    let data: Vec<f64> = points.iter().flat_map(|&(x, y)| [x, y]).collect();
+    let n = points.len();
+    NumericView::new(mapper, data, (0..n as u32).collect())
+}
+
+/// Two corner points; the `Rect` is normalized in the property body.
+fn rect_corners() -> impl gen::Gen<Value = ((f64, f64), (f64, f64))> {
     (
-        (0.0f64..100.0, 0.0f64..100.0),
-        (0.0f64..100.0, 0.0f64..100.0),
+        (gen::f64_in(0.0..100.0), gen::f64_in(0.0..100.0)),
+        (gen::f64_in(0.0..100.0), gen::f64_in(0.0..100.0)),
     )
-        .prop_map(|(a, b)| {
-            Rect::new(
-                vec![a.0.min(b.0), a.1.min(b.1)],
-                vec![a.0.max(b.0), a.1.max(b.1)],
-            )
-        })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn rect_from((a, b): &((f64, f64), (f64, f64))) -> Rect {
+    Rect::new(
+        vec![a.0.min(b.0), a.1.min(b.1)],
+        vec![a.0.max(b.0), a.1.max(b.1)],
+    )
+}
 
-    #[test]
-    fn all_access_paths_agree_with_brute_force(view in view_strategy(), rect in rect_strategy()) {
+forall! {
+    cases = 64;
+
+    fn all_access_paths_agree_with_brute_force(
+        points in points_gen(),
+        corners in rect_corners(),
+    ) {
+        let view = view_from(&points);
+        let rect = rect_from(&corners);
         let mut expected: Vec<u32> = view
             .indices_in(&rect)
             .into_iter()
@@ -61,13 +73,14 @@ proptest! {
         }
     }
 
-    #[test]
     fn sampling_returns_distinct_in_rect_points(
-        view in view_strategy(),
-        rect in rect_strategy(),
-        n in 0usize..50,
-        seed in any::<u64>(),
+        points in points_gen(),
+        corners in rect_corners(),
+        n in gen::usize_in(0..50),
+        seed in gen::any_u64(),
     ) {
+        let view = view_from(&points);
+        let rect = rect_from(&corners);
         let inside = view.count_in(&rect);
         let mut engine = ExtractionEngine::new(view, IndexKind::Grid);
         let mut rng = Xoshiro256pp::seed_from_u64(seed);
@@ -80,12 +93,13 @@ proptest! {
         }
     }
 
-    #[test]
     fn exclusions_are_respected(
-        view in view_strategy(),
-        rect in rect_strategy(),
-        seed in any::<u64>(),
+        points in points_gen(),
+        corners in rect_corners(),
+        seed in gen::any_u64(),
     ) {
+        let view = view_from(&points);
+        let rect = rect_from(&corners);
         let mut engine = ExtractionEngine::new(view, IndexKind::KdTree);
         let mut rng = Xoshiro256pp::seed_from_u64(seed);
         let first = engine.sample_in(&rect, 10, &mut rng);

@@ -1,33 +1,40 @@
-//! Property-based tests for the CART tree and k-means invariants.
+//! Property-based tests for the CART tree and k-means invariants, running
+//! on the hermetic `aide-testkit` harness.
 
 use aide_ml::{ConfusionMatrix, DecisionTree, KMeans, TreeParams};
+use aide_testkit::prop::gen;
+use aide_testkit::{forall, prop_assert, prop_assert_eq};
 use aide_util::geom::Rect;
-use proptest::prelude::*;
 
-/// Labeled 2-D points on a bounded lattice (duplicates allowed).
-fn training_strategy() -> impl Strategy<Value = (Vec<f64>, Vec<bool>)> {
-    proptest::collection::vec(((0u32..100), (0u32..100), any::<bool>()), 2..150).prop_map(
-        |points| {
-            let mut data = Vec::with_capacity(points.len() * 2);
-            let mut labels = Vec::with_capacity(points.len());
-            for (x, y, l) in points {
-                data.push(x as f64);
-                data.push(y as f64);
-                labels.push(l);
-            }
-            (data, labels)
-        },
+/// Labeled 2-D points on a bounded lattice (duplicates allowed); the flat
+/// `(data, labels)` training pair is assembled in each property body so
+/// the raw points keep shrinking.
+fn training_points() -> impl gen::Gen<Value = Vec<(u32, u32, bool)>> {
+    gen::vec_of(
+        (gen::u32_in(0..100), gen::u32_in(0..100), gen::any_bool()),
+        2..150,
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn flatten(points: &[(u32, u32, bool)]) -> (Vec<f64>, Vec<bool>) {
+    let mut data = Vec::with_capacity(points.len() * 2);
+    let mut labels = Vec::with_capacity(points.len());
+    for &(x, y, l) in points {
+        data.push(x as f64);
+        data.push(y as f64);
+        labels.push(l);
+    }
+    (data, labels)
+}
+
+forall! {
+    cases = 64;
 
     /// The tree's leaf regions of both labels tile the bounding space:
     /// every point belongs to exactly one region, and that region's label
     /// matches `predict`.
-    #[test]
-    fn regions_partition_space_and_agree_with_predict((data, labels) in training_strategy()) {
+    fn regions_partition_space_and_agree_with_predict(points in training_points()) {
+        let (data, labels) = flatten(&points);
         let tree = DecisionTree::fit(2, &data, &labels, &TreeParams::default());
         let bounds = Rect::new(vec![-1.0, -1.0], vec![101.0, 101.0]);
         let relevant = tree.regions(true, &bounds);
@@ -48,8 +55,8 @@ proptest! {
 
     /// With unconstrained induction, training accuracy is perfect unless
     /// two identical points carry contradicting labels.
-    #[test]
-    fn unconstrained_tree_fits_consistent_data((data, labels) in training_strategy()) {
+    fn unconstrained_tree_fits_consistent_data(points in training_points()) {
+        let (data, labels) = flatten(&points);
         // De-duplicate contradictions: keep first label per location.
         let mut seen = std::collections::HashMap::new();
         let mut d = Vec::new();
@@ -80,8 +87,8 @@ proptest! {
 
     /// Pruning never increases the number of leaves, and a stronger alpha
     /// prunes at least as much.
-    #[test]
-    fn pruning_is_monotone((data, labels) in training_strategy(), alpha in 0.0f64..0.2) {
+    fn pruning_is_monotone(points in training_points(), alpha in gen::f64_in(0.0..0.2)) {
+        let (data, labels) = flatten(&points);
         let tree = DecisionTree::fit(2, &data, &labels, &TreeParams::default());
         let mut weak = tree.clone();
         weak.prune(alpha);
@@ -92,8 +99,8 @@ proptest! {
     }
 
     /// Feature importances are a probability vector (or all zero).
-    #[test]
-    fn importances_are_normalized((data, labels) in training_strategy()) {
+    fn importances_are_normalized(points in training_points()) {
+        let (data, labels) = flatten(&points);
         let tree = DecisionTree::fit(2, &data, &labels, &TreeParams::default());
         let imp = tree.feature_importances();
         prop_assert_eq!(imp.len(), 2);
@@ -104,11 +111,10 @@ proptest! {
 
     /// k-means invariants: assignments point at the nearest centroid and
     /// every cluster id is within range.
-    #[test]
     fn kmeans_assigns_nearest_centroid(
-        points in proptest::collection::vec((0.0f64..100.0, 0.0f64..100.0), 1..120),
-        k in 1usize..10,
-        seed in any::<u64>(),
+        points in gen::vec_of((gen::f64_in(0.0..100.0), gen::f64_in(0.0..100.0)), 1..120),
+        k in gen::usize_in(1..10),
+        seed in gen::any_u64(),
     ) {
         let data: Vec<f64> = points.iter().flat_map(|&(x, y)| [x, y]).collect();
         let mut rng = aide_util::rng::Xoshiro256pp::seed_from_u64(seed);
@@ -129,8 +135,9 @@ proptest! {
     }
 
     /// F-measure is symmetric in the harmonic-mean sense and bounded.
-    #[test]
-    fn f_measure_is_bounded(pairs in proptest::collection::vec((any::<bool>(), any::<bool>()), 0..200)) {
+    fn f_measure_is_bounded(
+        pairs in gen::vec_of((gen::any_bool(), gen::any_bool()), 0..200),
+    ) {
         let m = ConfusionMatrix::from_pairs(pairs.clone());
         let f = m.f_measure();
         prop_assert!((0.0..=1.0).contains(&f));

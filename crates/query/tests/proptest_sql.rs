@@ -1,48 +1,59 @@
 //! Property-based tests: every query the query layer can produce must
 //! round-trip through its own SQL rendering and parser, and evaluation
-//! must agree with direct predicate semantics.
+//! must agree with direct predicate semantics — running on the hermetic
+//! `aide-testkit` harness.
 
 use aide_data::{DataType, Schema, TableBuilder, Value};
 use aide_query::{parse_selection, simplify, CmpOp, Comparison, Conjunction, Selection};
-use proptest::prelude::*;
+use aide_testkit::prop::gen;
+use aide_testkit::{forall, prop_assert, prop_assert_eq};
 
-fn op_strategy() -> impl Strategy<Value = CmpOp> {
-    prop_oneof![
-        Just(CmpOp::Lt),
-        Just(CmpOp::Le),
-        Just(CmpOp::Gt),
-        Just(CmpOp::Ge),
-        Just(CmpOp::Eq),
-    ]
+fn op_gen() -> impl gen::Gen<Value = CmpOp> {
+    gen::choice(vec![CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge, CmpOp::Eq])
 }
 
-fn comparison_strategy() -> impl Strategy<Value = Comparison> {
+/// Raw comparison parts: attribute name, operator and an integer value
+/// that divides to a float the SQL formatter renders exactly (6 decimal
+/// places). The `Comparison` itself is built in the property body.
+fn comparison_parts() -> impl gen::Gen<Value = (&'static str, CmpOp, i32)> {
     (
-        prop_oneof![Just("age"), Just("dosage"), Just("rowc"), Just("x_1")],
-        op_strategy(),
-        // Values the SQL formatter renders exactly (6 decimal places).
-        (-1_000_000i32..1_000_000).prop_map(|v| v as f64 / 64.0),
+        gen::choice(vec!["age", "dosage", "rowc", "x_1"]),
+        op_gen(),
+        gen::i32_in(-1_000_000..1_000_000),
     )
-        .prop_map(|(attr, op, value)| Comparison::new(attr, op, value))
 }
 
-fn selection_strategy() -> impl Strategy<Value = Selection> {
-    proptest::collection::vec(proptest::collection::vec(comparison_strategy(), 1..5), 0..4)
-        .prop_map(|disjuncts| {
-            Selection::new("t", disjuncts.into_iter().map(Conjunction::new).collect())
-        })
+/// Raw disjuncts-of-conjuncts for a `Selection` over table `t`.
+fn selection_parts() -> impl gen::Gen<Value = Vec<Vec<(&'static str, CmpOp, i32)>>> {
+    gen::vec_of(gen::vec_of(comparison_parts(), 1..5), 0..4)
 }
 
-proptest! {
-    #[test]
-    fn sql_round_trips(q in selection_strategy()) {
+fn selection_from(parts: &[Vec<(&'static str, CmpOp, i32)>]) -> Selection {
+    Selection::new(
+        "t",
+        parts
+            .iter()
+            .map(|conj| {
+                Conjunction::new(
+                    conj.iter()
+                        .map(|&(attr, op, v)| Comparison::new(attr, op, v as f64 / 64.0))
+                        .collect(),
+                )
+            })
+            .collect(),
+    )
+}
+
+forall! {
+    fn sql_round_trips(parts in selection_parts()) {
+        let q = selection_from(&parts);
         let sql = q.to_sql();
         let parsed = parse_selection(&sql).expect("rendered SQL parses");
         prop_assert_eq!(parsed, q);
     }
 
-    #[test]
-    fn rendered_sql_mentions_every_term(q in selection_strategy()) {
+    fn rendered_sql_mentions_every_term(parts in selection_parts()) {
+        let q = selection_from(&parts);
         let sql = q.to_sql();
         for conj in &q.disjuncts {
             for term in &conj.terms {
@@ -51,8 +62,11 @@ proptest! {
         }
     }
 
-    #[test]
-    fn cmp_op_eval_matches_rust_operators(op in op_strategy(), a in -1e6f64..1e6, b in -1e6f64..1e6) {
+    fn cmp_op_eval_matches_rust_operators(
+        op in op_gen(),
+        a in gen::f64_in(-1e6..1e6),
+        b in gen::f64_in(-1e6..1e6),
+    ) {
         let expected = match op {
             CmpOp::Lt => a < b,
             CmpOp::Le => a <= b,
@@ -63,16 +77,15 @@ proptest! {
         prop_assert_eq!(op.eval(a, b), expected);
     }
 
-    #[test]
-    fn parser_never_panics_on_arbitrary_input(input in "[ -~]{0,80}") {
+    fn parser_never_panics_on_arbitrary_input(input in gen::ascii_printable(0..81)) {
         let _ = parse_selection(&input);
     }
 
     /// Simplification must be semantics-preserving: the simplified query
     /// selects exactly the same rows on a probe table, and is idempotent.
-    #[test]
-    fn simplify_preserves_semantics(q in selection_strategy()) {
-        // A probe table over the attributes the strategy uses.
+    fn simplify_preserves_semantics(parts in selection_parts()) {
+        let q = selection_from(&parts);
+        // A probe table over the attributes the generator uses.
         let schema = Schema::from_pairs(&[
             ("age", DataType::Float),
             ("dosage", DataType::Float),

@@ -1,0 +1,433 @@
+//! Micro-benchmark harness with machine-readable output.
+//!
+//! Each benchmark is warmed up, its per-sample iteration count is
+//! calibrated so one sample costs a useful fraction of the wall-clock
+//! budget, and samples are collected until the budget (default 500 ms per
+//! benchmark, `AIDE_BENCH_BUDGET_MS`) is spent. Results — min / median /
+//! p95 / mean ± sd in nanoseconds per iteration — are printed to stdout
+//! and written as one JSON line per benchmark to
+//! `target/bench/<harness>.json`, the format the `BENCH_*.json`
+//! performance trajectory tracks over time.
+//!
+//! A bench target looks like:
+//!
+//! ```no_run
+//! use aide_testkit::bench::{black_box, Harness};
+//!
+//! fn main() {
+//!     let mut h = Harness::from_args("my_subsystem");
+//!     let mut group = h.group("my_subsystem/sort");
+//!     group.bench("1k", || {
+//!         let mut v: Vec<u64> = (0..1000).rev().collect();
+//!         v.sort_unstable();
+//!         black_box(v)
+//!     });
+//!     h.finish();
+//! }
+//! ```
+//!
+//! Invocation protocol (mirrors what cargo does for `harness = false`
+//! targets): `cargo bench` passes `--bench`, which enables full
+//! measurement; `cargo test` compiles and runs the same binary *without*
+//! `--bench`, which runs every benchmark exactly once as a smoke test and
+//! writes no JSON. A positional argument (`cargo bench -- <filter>`)
+//! selects benchmarks by substring.
+
+use std::env;
+use std::fs;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+use aide_util::stats::{quantile, OnlineStats};
+
+/// Per-iteration timing statistics, all in nanoseconds.
+#[derive(Debug, Clone)]
+pub struct BenchStats {
+    /// Number of timed samples.
+    pub samples: u64,
+    /// Iterations averaged within each sample.
+    pub iters_per_sample: u64,
+    /// Fastest sample.
+    pub min_ns: f64,
+    /// Median sample — the headline number, robust to scheduler noise.
+    pub median_ns: f64,
+    /// 95th-percentile sample.
+    pub p95_ns: f64,
+    /// Mean over samples.
+    pub mean_ns: f64,
+    /// Standard deviation over samples.
+    pub std_dev_ns: f64,
+}
+
+struct Record {
+    name: String,
+    stats: BenchStats,
+}
+
+/// One bench target's runner: collects, prints and serializes results.
+pub struct Harness {
+    name: String,
+    filter: Option<String>,
+    full: bool,
+    warmup: Duration,
+    budget: Duration,
+    min_samples: usize,
+    max_samples: usize,
+    records: Vec<Record>,
+}
+
+impl Harness {
+    /// Builds a harness from the process arguments. `name` becomes the
+    /// output file stem (`target/bench/<name>.json`).
+    pub fn from_args(name: &str) -> Self {
+        let mut filter = None;
+        let mut full = env::var("AIDE_BENCH_FORCE").is_ok_and(|v| v == "1");
+        for arg in env::args().skip(1) {
+            match arg.as_str() {
+                "--bench" => full = true,
+                s if s.starts_with('-') => {} // --test, --nocapture, ...
+                s => filter = Some(s.to_string()),
+            }
+        }
+        Self {
+            name: name.to_string(),
+            filter,
+            full,
+            warmup: Duration::from_millis(env_ms("AIDE_BENCH_WARMUP_MS", 100)),
+            budget: Duration::from_millis(env_ms("AIDE_BENCH_BUDGET_MS", 500)),
+            min_samples: 10,
+            max_samples: 200,
+            records: Vec::new(),
+        }
+    }
+
+    /// Starts a named benchmark group; benchmarks register under
+    /// `<group>/<bench>`.
+    pub fn group(&mut self, prefix: &str) -> Group<'_> {
+        Group {
+            harness: self,
+            prefix: prefix.to_string(),
+        }
+    }
+
+    fn accepts(&self, full_name: &str) -> bool {
+        self.filter
+            .as_deref()
+            .is_none_or(|f| full_name.contains(f))
+    }
+
+    fn run_loop<R>(&mut self, full_name: String, mut routine: impl FnMut() -> R) {
+        if !self.accepts(&full_name) {
+            return;
+        }
+        if !self.full {
+            black_box(routine());
+            println!("bench {full_name}: ok (smoke)");
+            return;
+        }
+        // Warmup doubles as calibration: estimate the per-iteration cost.
+        let warmup_start = Instant::now();
+        let mut warm_iters = 0u64;
+        loop {
+            black_box(routine());
+            warm_iters += 1;
+            if warmup_start.elapsed() >= self.warmup {
+                break;
+            }
+        }
+        let per_iter_ns = warmup_start.elapsed().as_nanos() as f64 / warm_iters as f64;
+        // Aim for ~64 samples within the budget, at least one iteration each.
+        let target_sample_ns = (self.budget.as_nanos() as f64 / 64.0).max(1.0);
+        let iters = ((target_sample_ns / per_iter_ns.max(1.0)) as u64).clamp(1, 10_000_000);
+        let samples = self.collect_samples(|| {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            t0.elapsed().as_nanos() as f64 / iters as f64
+        });
+        self.record(full_name, &samples, iters);
+    }
+
+    fn run_batched<S, R>(
+        &mut self,
+        full_name: String,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> R,
+    ) {
+        if !self.accepts(&full_name) {
+            return;
+        }
+        if !self.full {
+            black_box(routine(setup()));
+            println!("bench {full_name}: ok (smoke)");
+            return;
+        }
+        let warmup_start = Instant::now();
+        loop {
+            black_box(routine(setup()));
+            if warmup_start.elapsed() >= self.warmup {
+                break;
+            }
+        }
+        let samples = self.collect_samples(|| {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            t0.elapsed().as_nanos() as f64
+        });
+        self.record(full_name, &samples, 1);
+    }
+
+    /// Runs `sample` until the budget is spent (but at least
+    /// `min_samples`), the sample cap is hit, or a slow benchmark exceeds
+    /// five budgets.
+    fn collect_samples(&self, mut sample: impl FnMut() -> f64) -> Vec<f64> {
+        let mut samples = Vec::new();
+        let start = Instant::now();
+        let hard_deadline = self.budget * 5;
+        loop {
+            samples.push(sample());
+            let elapsed = start.elapsed();
+            if samples.len() >= self.max_samples
+                || (elapsed >= self.budget && samples.len() >= self.min_samples)
+                || elapsed >= hard_deadline
+            {
+                return samples;
+            }
+        }
+    }
+
+    fn record(&mut self, name: String, samples: &[f64], iters_per_sample: u64) {
+        let mut acc = OnlineStats::new();
+        for &s in samples {
+            acc.push(s);
+        }
+        let stats = BenchStats {
+            samples: acc.count(),
+            iters_per_sample,
+            min_ns: acc.min().unwrap_or(f64::NAN),
+            median_ns: quantile(samples, 0.5).unwrap_or(f64::NAN),
+            p95_ns: quantile(samples, 0.95).unwrap_or(f64::NAN),
+            mean_ns: acc.mean(),
+            std_dev_ns: acc.std_dev(),
+        };
+        println!(
+            "bench {name}: {} samples x {} iters  min {}  median {}  p95 {}  mean {} ± {}",
+            stats.samples,
+            stats.iters_per_sample,
+            fmt_ns(stats.min_ns),
+            fmt_ns(stats.median_ns),
+            fmt_ns(stats.p95_ns),
+            fmt_ns(stats.mean_ns),
+            fmt_ns(stats.std_dev_ns),
+        );
+        self.records.push(Record { name, stats });
+    }
+
+    /// Writes the JSON-lines report and prints its location. Call once,
+    /// after all groups.
+    pub fn finish(self) {
+        if !self.full {
+            println!("{}: smoke mode (run via `cargo bench` for measurements)", self.name);
+            return;
+        }
+        let dir = output_dir();
+        if let Err(e) = fs::create_dir_all(&dir) {
+            eprintln!("warning: cannot create {}: {e}", dir.display());
+            return;
+        }
+        let path = dir.join(format!("{}.json", self.name));
+        let mut out = String::new();
+        for r in &self.records {
+            let s = &r.stats;
+            out.push_str(&format!(
+                "{{\"schema\":\"aide-bench/1\",\"harness\":{},\"bench\":{},\"samples\":{},\
+                 \"iters_per_sample\":{},\"min_ns\":{},\"median_ns\":{},\"p95_ns\":{},\
+                 \"mean_ns\":{},\"std_dev_ns\":{}}}\n",
+                json_string(&self.name),
+                json_string(&r.name),
+                s.samples,
+                s.iters_per_sample,
+                json_number(s.min_ns),
+                json_number(s.median_ns),
+                json_number(s.p95_ns),
+                json_number(s.mean_ns),
+                json_number(s.std_dev_ns),
+            ));
+        }
+        match fs::write(&path, out) {
+            Ok(()) => println!(
+                "wrote {} benchmark record(s) to {}",
+                self.records.len(),
+                path.display()
+            ),
+            Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+        }
+    }
+}
+
+/// A named benchmark group borrowed from a [`Harness`].
+pub struct Group<'a> {
+    harness: &'a mut Harness,
+    prefix: String,
+}
+
+impl Group<'_> {
+    /// Benchmarks `routine` called in a timed loop.
+    pub fn bench<R>(&mut self, name: &str, routine: impl FnMut() -> R) {
+        let full_name = format!("{}/{name}", self.prefix);
+        self.harness.run_loop(full_name, routine);
+    }
+
+    /// Benchmarks `routine` with a fresh untimed `setup` value per
+    /// iteration — the `iter_batched` pattern for stateful subjects.
+    pub fn bench_batched<S, R>(
+        &mut self,
+        name: &str,
+        setup: impl FnMut() -> S,
+        routine: impl FnMut(S) -> R,
+    ) {
+        let full_name = format!("{}/{name}", self.prefix);
+        self.harness.run_batched(full_name, setup, routine);
+    }
+}
+
+/// Resolves `target/bench/` for the enclosing workspace: honors
+/// `CARGO_TARGET_DIR`, otherwise walks up from the current directory to
+/// the checkout root (identified by `Cargo.lock`).
+pub fn output_dir() -> PathBuf {
+    if let Ok(dir) = env::var("CARGO_TARGET_DIR") {
+        return PathBuf::from(dir).join("bench");
+    }
+    let mut dir = env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        if dir.join("Cargo.lock").exists() {
+            return dir.join("target").join("bench");
+        }
+        if !dir.pop() {
+            return PathBuf::from("target/bench");
+        }
+    }
+}
+
+fn env_ms(name: &str, default: u64) -> u64 {
+    match env::var(name) {
+        Ok(raw) => raw
+            .trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("{name}={raw:?} is not a millisecond count")),
+        Err(_) => default,
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if !ns.is_finite() {
+        "n/a".to_string()
+    } else if ns < 1e3 {
+        format!("{ns:.0}ns")
+    } else if ns < 1e6 {
+        format!("{:.1}µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2}ms", ns / 1e6)
+    } else {
+        format!("{:.2}s", ns / 1e9)
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_harness() -> Harness {
+        Harness {
+            name: "selftest".to_string(),
+            filter: None,
+            full: true,
+            warmup: Duration::from_millis(5),
+            budget: Duration::from_millis(20),
+            min_samples: 3,
+            max_samples: 50,
+            records: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn stats_are_sane_for_a_cheap_routine() {
+        let mut h = test_harness();
+        h.run_loop("selftest/noop".to_string(), || black_box(1u64 + 1));
+        assert_eq!(h.records.len(), 1);
+        let s = &h.records[0].stats;
+        assert!(s.samples >= 3);
+        assert!(s.iters_per_sample >= 1);
+        assert!(s.min_ns <= s.median_ns);
+        assert!(s.median_ns <= s.p95_ns + 1e-9);
+        assert!(s.mean_ns > 0.0);
+    }
+
+    #[test]
+    fn batched_setup_is_not_timed() {
+        let mut h = test_harness();
+        h.run_batched(
+            "selftest/batched".to_string(),
+            || vec![0u8; 1024],
+            |v| v.len(),
+        );
+        assert_eq!(h.records.len(), 1);
+        assert_eq!(h.records[0].stats.iters_per_sample, 1);
+    }
+
+    #[test]
+    fn filter_skips_non_matching_benchmarks() {
+        let mut h = test_harness();
+        h.filter = Some("only_this".to_string());
+        h.run_loop("selftest/other".to_string(), || black_box(0u64));
+        h.run_loop("selftest/only_this".to_string(), || black_box(0u64));
+        assert_eq!(h.records.len(), 1);
+        assert_eq!(h.records[0].name, "selftest/only_this");
+    }
+
+    #[test]
+    fn smoke_mode_runs_once_and_records_nothing() {
+        let mut h = test_harness();
+        h.full = false;
+        let mut calls = 0u32;
+        h.run_loop("selftest/smoke".to_string(), || calls += 1);
+        assert_eq!(calls, 1);
+        assert!(h.records.is_empty());
+    }
+
+    #[test]
+    fn json_escaping_is_valid() {
+        assert_eq!(json_string("plain"), "\"plain\"");
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_string("tab\tend"), "\"tab\\u0009end\"");
+        assert_eq!(json_number(1234.5), "1234.5");
+        assert_eq!(json_number(f64::NAN), "null");
+    }
+}

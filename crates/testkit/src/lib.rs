@@ -1,0 +1,37 @@
+//! Hermetic testing infrastructure for the AIDE workspace.
+//!
+//! The paper reproduction's whole evaluation story rests on determinism:
+//! every experiment is replayable bit-for-bit from a single seed, with no
+//! external RNG API churn (DESIGN.md §1). This crate extends that contract
+//! to the test and benchmark layer itself — it depends only on `aide-util`
+//! and the standard library, so `cargo build && cargo test && cargo bench`
+//! work offline with an empty cargo registry.
+//!
+//! Two modules:
+//!
+//! * [`prop`] — a minimal deterministic property-testing harness:
+//!   composable generators ([`prop::gen`]), greedy shrinking to a minimal
+//!   counterexample, and the [`forall!`] macro. Seeded from
+//!   [SplitMix64](aide_util::rng::SplitMix64); the failing seed is printed
+//!   on panic and overridable via `AIDE_PROP_SEED` / `AIDE_PROP_CASES`.
+//! * [`bench`] — a micro-benchmark harness (warmup, calibrated iteration
+//!   counts, min/median/p95/mean±sd) that writes one JSON line per
+//!   benchmark to `target/bench/<name>.json` and honors `cargo bench --
+//!   <filter>`.
+//!
+//! ```
+//! use aide_testkit::{forall, prop_assert};
+//! use aide_testkit::prop::gen;
+//!
+//! forall! {
+//!     /// Addition of non-negative numbers never shrinks either operand.
+//!     fn add_is_monotone(a in gen::u64_in(0..1 << 40), b in gen::u64_in(0..1 << 40)) {
+//!         prop_assert!(a + b >= a);
+//!         prop_assert!(a + b >= b);
+//!     }
+//! }
+//! # fn main() {}
+//! ```
+
+pub mod bench;
+pub mod prop;

@@ -1,0 +1,590 @@
+//! Composable, shrinkable input generators.
+//!
+//! A [`Gen`] produces values from a deterministic RNG and proposes
+//! simplification candidates for shrinking. Generators compose: tuples of
+//! generators are generators (shrinking one component at a time),
+//! [`vec_of`] lifts an element generator to vectors (shrinking by
+//! truncation, then element-wise), and [`map`] post-processes values
+//! (mapped values do not shrink — prefer generating raw inputs and
+//! constructing domain objects inside the property body).
+
+use std::fmt::Debug;
+use std::ops::Range;
+
+use aide_util::rng::{Rng as _, Xoshiro256pp};
+
+/// A deterministic, shrinkable value generator.
+pub trait Gen {
+    /// The generated value type.
+    type Value: Clone + Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut Xoshiro256pp) -> Self::Value;
+
+    /// Proposes strictly "simpler" variants of a failing value, most
+    /// aggressive first. Every candidate must differ from `value` so the
+    /// greedy shrink loop always makes progress. The default is no
+    /// shrinking.
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let _ = value;
+        Vec::new()
+    }
+}
+
+// --- integers ---------------------------------------------------------------
+
+macro_rules! int_range_gen {
+    ($fn_name:ident, $gen_name:ident, $ty:ty) => {
+        /// Uniform integers in the half-open range `[lo, hi)`, shrinking
+        /// toward `lo`.
+        #[derive(Debug, Clone)]
+        pub struct $gen_name {
+            lo: $ty,
+            hi: $ty,
+        }
+
+        #[doc = concat!("Uniform `", stringify!($ty), "` in `[range.start, range.end)`.")]
+        pub fn $fn_name(range: Range<$ty>) -> $gen_name {
+            assert!(
+                range.start < range.end,
+                concat!(stringify!($fn_name), ": empty range {:?}"),
+                range
+            );
+            $gen_name {
+                lo: range.start,
+                hi: range.end,
+            }
+        }
+
+        impl Gen for $gen_name {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut Xoshiro256pp) -> $ty {
+                let width = (self.hi as i128 - self.lo as i128) as u64;
+                (self.lo as i128 + rng.below(width) as i128) as $ty
+            }
+
+            fn shrink(&self, value: &$ty) -> Vec<$ty> {
+                let mut out = Vec::new();
+                if *value != self.lo {
+                    out.push(self.lo);
+                    let half = (self.lo as i128 + (*value as i128 - self.lo as i128) / 2) as $ty;
+                    if half != *value && half != self.lo {
+                        out.push(half);
+                    }
+                    let dec = (*value as i128 - 1) as $ty;
+                    if dec != self.lo && dec != half {
+                        out.push(dec);
+                    }
+                }
+                out
+            }
+        }
+    };
+}
+
+int_range_gen!(u64_in, U64Range, u64);
+int_range_gen!(i64_in, I64Range, i64);
+int_range_gen!(u32_in, U32Range, u32);
+int_range_gen!(i32_in, I32Range, i32);
+int_range_gen!(usize_in, UsizeRange, usize);
+
+/// All 64 bits uniform (the full `u64` domain), shrinking toward 0.
+#[derive(Debug, Clone)]
+pub struct AnyU64;
+
+/// Uniform over all of `u64`.
+pub fn any_u64() -> AnyU64 {
+    AnyU64
+}
+
+impl Gen for AnyU64 {
+    type Value = u64;
+
+    fn generate(&self, rng: &mut Xoshiro256pp) -> u64 {
+        rng.next_u64()
+    }
+
+    fn shrink(&self, value: &u64) -> Vec<u64> {
+        let mut out = Vec::new();
+        if *value > 0 {
+            out.push(0);
+            let half = value >> 1;
+            if half != 0 {
+                out.push(half);
+            }
+            if *value > 1 && value - 1 != half {
+                out.push(value - 1);
+            }
+        }
+        out
+    }
+}
+
+/// Uniform over all of `i64`, shrinking toward 0 by halving the magnitude.
+#[derive(Debug, Clone)]
+pub struct AnyI64;
+
+/// Uniform over all of `i64`.
+pub fn any_i64() -> AnyI64 {
+    AnyI64
+}
+
+impl Gen for AnyI64 {
+    type Value = i64;
+
+    fn generate(&self, rng: &mut Xoshiro256pp) -> i64 {
+        rng.next_u64() as i64
+    }
+
+    fn shrink(&self, value: &i64) -> Vec<i64> {
+        let mut out = Vec::new();
+        if *value != 0 {
+            out.push(0);
+            let half = value / 2;
+            if half != 0 {
+                out.push(half);
+            }
+            if *value < 0 && i64::MIN < *value {
+                out.push(-value);
+            }
+        }
+        out
+    }
+}
+
+/// Uniform over all of `u32`, shrinking toward 0.
+#[derive(Debug, Clone)]
+pub struct AnyU32;
+
+/// Uniform over all of `u32`.
+pub fn any_u32() -> AnyU32 {
+    AnyU32
+}
+
+impl Gen for AnyU32 {
+    type Value = u32;
+
+    fn generate(&self, rng: &mut Xoshiro256pp) -> u32 {
+        rng.next_u64() as u32
+    }
+
+    fn shrink(&self, value: &u32) -> Vec<u32> {
+        let mut out = Vec::new();
+        if *value > 0 {
+            out.push(0);
+            let half = value >> 1;
+            if half != 0 {
+                out.push(half);
+            }
+        }
+        out
+    }
+}
+
+/// Fair coin, shrinking `true` to `false`.
+#[derive(Debug, Clone)]
+pub struct AnyBool;
+
+/// Fair boolean.
+pub fn any_bool() -> AnyBool {
+    AnyBool
+}
+
+impl Gen for AnyBool {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut Xoshiro256pp) -> bool {
+        rng.chance(0.5)
+    }
+
+    fn shrink(&self, value: &bool) -> Vec<bool> {
+        if *value {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+// --- floats ------------------------------------------------------------------
+
+/// Uniform `f64` in a half-open range, shrinking toward the lower bound.
+#[derive(Debug, Clone)]
+pub struct F64Range {
+    lo: f64,
+    hi: f64,
+}
+
+/// Uniform `f64` in `[range.start, range.end)`.
+pub fn f64_in(range: Range<f64>) -> F64Range {
+    assert!(
+        range.start.is_finite() && range.end.is_finite() && range.start < range.end,
+        "f64_in: invalid range {range:?}"
+    );
+    F64Range {
+        lo: range.start,
+        hi: range.end,
+    }
+}
+
+impl Gen for F64Range {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut Xoshiro256pp) -> f64 {
+        rng.uniform(self.lo, self.hi)
+    }
+
+    fn shrink(&self, value: &f64) -> Vec<f64> {
+        let mut out = Vec::new();
+        if *value != self.lo {
+            out.push(self.lo);
+            if self.lo < 0.0 && *value > 0.0 {
+                out.push(0.0);
+            }
+            let mid = self.lo + (*value - self.lo) / 2.0;
+            if mid != *value && mid != self.lo && !out.contains(&mid) {
+                out.push(mid);
+            }
+        }
+        out
+    }
+}
+
+// --- collections --------------------------------------------------------------
+
+/// Vectors of generated elements with length in a half-open range,
+/// shrinking by truncation first, then element by element.
+#[derive(Debug, Clone)]
+pub struct VecGen<G> {
+    elem: G,
+    min: usize,
+    max: usize,
+}
+
+/// A vector of `elem`-generated values with `len` in `[len.start, len.end)`.
+pub fn vec_of<G: Gen>(elem: G, len: Range<usize>) -> VecGen<G> {
+    assert!(len.start < len.end, "vec_of: empty length range {len:?}");
+    VecGen {
+        elem,
+        min: len.start,
+        max: len.end,
+    }
+}
+
+impl<G: Gen> Gen for VecGen<G> {
+    type Value = Vec<G::Value>;
+
+    fn generate(&self, rng: &mut Xoshiro256pp) -> Vec<G::Value> {
+        let len = self.min + rng.index(self.max - self.min);
+        (0..len).map(|_| self.elem.generate(rng)).collect()
+    }
+
+    fn shrink(&self, value: &Vec<G::Value>) -> Vec<Vec<G::Value>> {
+        let mut out = Vec::new();
+        let len = value.len();
+        if len > self.min {
+            out.push(value[..self.min].to_vec());
+            let half = (len / 2).max(self.min);
+            if half < len && half > self.min {
+                // Both halves: the culprit element may live in either.
+                out.push(value[..half].to_vec());
+                out.push(value[len - half..].to_vec());
+            }
+            // Dropping single elements reaches minima halving cannot.
+            for i in 0..len.min(32) {
+                let mut next = value.clone();
+                next.remove(i);
+                out.push(next);
+            }
+            if len > 32 {
+                let mut next = value.clone();
+                next.remove(len - 1);
+                out.push(next);
+            }
+        }
+        // Element-wise: try the most aggressive shrink of each position.
+        for (i, elem) in value.iter().enumerate() {
+            if let Some(candidate) = self.elem.shrink(elem).into_iter().next() {
+                let mut next = value.clone();
+                next[i] = candidate;
+                out.push(next);
+            }
+            if out.len() >= 64 {
+                break;
+            }
+        }
+        out
+    }
+}
+
+// --- strings -------------------------------------------------------------------
+
+/// Strings over a fixed alphabet, shrinking by truncation.
+#[derive(Debug, Clone)]
+pub struct StringGen {
+    alphabet: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+/// A string of characters from `alphabet` with length in
+/// `[len.start, len.end)`.
+pub fn string_of(alphabet: &str, len: Range<usize>) -> StringGen {
+    let alphabet: Vec<char> = alphabet.chars().collect();
+    assert!(!alphabet.is_empty(), "string_of: empty alphabet");
+    assert!(len.start < len.end, "string_of: empty length range {len:?}");
+    StringGen {
+        alphabet,
+        min: len.start,
+        max: len.end,
+    }
+}
+
+/// A string of printable ASCII (space through `~`) with length in
+/// `[len.start, len.end)` — the idiomatic fuzzing alphabet for parsers.
+pub fn ascii_printable(len: Range<usize>) -> StringGen {
+    let alphabet: String = (b' '..=b'~').map(char::from).collect();
+    string_of(&alphabet, len)
+}
+
+impl Gen for StringGen {
+    type Value = String;
+
+    fn generate(&self, rng: &mut Xoshiro256pp) -> String {
+        let len = self.min + rng.index(self.max - self.min);
+        (0..len)
+            .map(|_| self.alphabet[rng.index(self.alphabet.len())])
+            .collect()
+    }
+
+    fn shrink(&self, value: &String) -> Vec<String> {
+        let chars: Vec<char> = value.chars().collect();
+        let len = chars.len();
+        let mut out = Vec::new();
+        if len > self.min {
+            out.push(chars[..self.min].iter().collect());
+            let half = (len / 2).max(self.min);
+            if half < len && half > self.min {
+                out.push(chars[..half].iter().collect());
+            }
+            if len - 1 > self.min {
+                out.push(chars[..len - 1].iter().collect());
+            }
+        }
+        out
+    }
+}
+
+// --- combinators ----------------------------------------------------------------
+
+/// Picks uniformly from a fixed list of options (no shrinking).
+#[derive(Debug, Clone)]
+pub struct Choice<T> {
+    options: Vec<T>,
+}
+
+/// One of `options`, uniformly. Ideal for small enums
+/// (`choice(vec![CmpOp::Lt, CmpOp::Le, ...])`).
+pub fn choice<T: Clone + Debug>(options: Vec<T>) -> Choice<T> {
+    assert!(!options.is_empty(), "choice: no options");
+    Choice { options }
+}
+
+impl<T: Clone + Debug> Gen for Choice<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut Xoshiro256pp) -> T {
+        self.options[rng.index(self.options.len())].clone()
+    }
+}
+
+/// Post-processes another generator's output (values do not shrink).
+#[derive(Debug, Clone)]
+pub struct Map<G, F> {
+    inner: G,
+    f: F,
+}
+
+/// Applies `f` to every generated value. The mapped value cannot shrink
+/// (there is no inverse of `f`); when shrinking matters, generate the raw
+/// input and apply the construction inside the property body instead.
+pub fn map<G, O, F>(inner: G, f: F) -> Map<G, F>
+where
+    G: Gen,
+    O: Clone + Debug,
+    F: Fn(G::Value) -> O,
+{
+    Map { inner, f }
+}
+
+impl<G, O, F> Gen for Map<G, F>
+where
+    G: Gen,
+    O: Clone + Debug,
+    F: Fn(G::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut Xoshiro256pp) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+// --- tuples ----------------------------------------------------------------------
+
+macro_rules! impl_tuple_gen {
+    ($($G:ident $idx:tt),+) => {
+        impl<$($G: Gen),+> Gen for ($($G,)+) {
+            type Value = ($($G::Value,)+);
+
+            fn generate(&self, rng: &mut Xoshiro256pp) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for candidate in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = candidate;
+                        out.push(next);
+                    }
+                )+
+                out
+            }
+        }
+    };
+}
+
+impl_tuple_gen!(A 0);
+impl_tuple_gen!(A 0, B 1);
+impl_tuple_gen!(A 0, B 1, C 2);
+impl_tuple_gen!(A 0, B 1, C 2, D 3);
+impl_tuple_gen!(A 0, B 1, C 2, D 3, E 4);
+impl_tuple_gen!(A 0, B 1, C 2, D 3, E 4, F 5);
+impl_tuple_gen!(A 0, B 1, C 2, D 3, E 4, F 5, G 6);
+impl_tuple_gen!(A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> Xoshiro256pp {
+        Xoshiro256pp::seed_from_u64(0xBEEF)
+    }
+
+    #[test]
+    fn int_ranges_stay_in_bounds() {
+        let mut r = rng();
+        let g = i64_in(-50..7);
+        for _ in 0..10_000 {
+            let v = g.generate(&mut r);
+            assert!((-50..7).contains(&v), "{v}");
+        }
+        let g = usize_in(3..4);
+        for _ in 0..100 {
+            assert_eq!(g.generate(&mut r), 3);
+        }
+    }
+
+    #[test]
+    fn int_shrink_moves_toward_lo_and_terminates() {
+        let g = i64_in(-50..1000);
+        let mut v = 777i64;
+        let mut steps = 0;
+        while let Some(&next) = g.shrink(&v).first() {
+            assert!(next < v || next == -50);
+            v = next;
+            steps += 1;
+            assert!(steps < 100, "shrink did not terminate");
+            if v == -50 {
+                break;
+            }
+        }
+        assert_eq!(v, -50);
+        assert!(g.shrink(&-50).is_empty());
+    }
+
+    #[test]
+    fn f64_range_stays_in_bounds() {
+        let mut r = rng();
+        let g = f64_in(-2.5..3.5);
+        for _ in 0..10_000 {
+            let v = g.generate(&mut r);
+            assert!((-2.5..3.5).contains(&v), "{v}");
+        }
+        assert!(g.shrink(&-2.5).is_empty());
+        assert!(g.shrink(&1.0).contains(&-2.5));
+    }
+
+    #[test]
+    fn vec_respects_length_range_and_shrinks_shorter() {
+        let mut r = rng();
+        let g = vec_of(any_u32(), 2..9);
+        for _ in 0..1_000 {
+            let v = g.generate(&mut r);
+            assert!((2..9).contains(&v.len()), "len {}", v.len());
+        }
+        let v: Vec<u32> = vec![5, 6, 7, 8, 9];
+        for cand in g.shrink(&v) {
+            assert!(cand.len() < v.len() || cand.iter().sum::<u32>() < v.iter().sum::<u32>());
+        }
+    }
+
+    #[test]
+    fn string_alphabet_is_respected() {
+        let mut r = rng();
+        let g = string_of("ab c", 0..12);
+        for _ in 0..500 {
+            let s = g.generate(&mut r);
+            assert!(s.len() < 12);
+            assert!(s.chars().all(|c| "ab c".contains(c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn choice_only_returns_options() {
+        let mut r = rng();
+        let g = choice(vec!["x", "y", "z"]);
+        for _ in 0..100 {
+            assert!(["x", "y", "z"].contains(&g.generate(&mut r)));
+        }
+    }
+
+    #[test]
+    fn tuple_shrinks_one_component_at_a_time() {
+        let g = (u64_in(0..10), u64_in(0..10));
+        let candidates = g.shrink(&(5, 5));
+        assert!(!candidates.is_empty());
+        for (a, b) in candidates {
+            assert!((a, b) != (5, 5));
+            assert!(a == 5 || b == 5, "changed both components: ({a}, {b})");
+        }
+    }
+
+    #[test]
+    fn map_applies_function() {
+        let mut r = rng();
+        let g = map(u64_in(0..10), |v| v * 2);
+        for _ in 0..100 {
+            let v = g.generate(&mut r);
+            assert_eq!(v % 2, 0);
+            assert!(v < 20);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let g = vec_of((any_u64(), f64_in(0.0..1.0)), 0..30);
+        let a: Vec<_> = {
+            let mut r = rng();
+            (0..50).map(|_| g.generate(&mut r)).collect()
+        };
+        let b: Vec<_> = {
+            let mut r = rng();
+            (0..50).map(|_| g.generate(&mut r)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

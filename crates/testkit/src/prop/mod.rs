@@ -1,0 +1,471 @@
+//! Deterministic property-based testing.
+//!
+//! A property is a function from generated inputs to `Result<(), String>`;
+//! the runner generates [`Config::cases`] inputs from a deterministic seed,
+//! and on the first failure greedily shrinks the input to a (locally)
+//! minimal counterexample before panicking with a replay recipe.
+//!
+//! Unlike conventional property-testing crates, the default seed is
+//! **fixed**: the same failure reproduces on every machine and every run
+//! with no persistence files. Set `AIDE_PROP_SEED` (decimal or `0x`-hex)
+//! to explore other seeds — for example in a scheduled fuzzing job — and
+//! `AIDE_PROP_CASES` to raise or lower the case count.
+//!
+//! The entry point is the [`forall!`](crate::forall) macro, which turns
+//! each `fn name(arg in generator, ...) { body }` block into a `#[test]`:
+//!
+//! ```
+//! use aide_testkit::{forall, prop_assert_eq};
+//! use aide_testkit::prop::gen;
+//!
+//! forall! {
+//!     fn reverse_twice_is_identity(v in gen::vec_of(gen::any_u32(), 0..50)) {
+//!         let mut w = v.clone();
+//!         w.reverse();
+//!         w.reverse();
+//!         prop_assert_eq!(w, v);
+//!     }
+//! }
+//! # fn main() {}
+//! ```
+
+pub mod gen;
+
+pub use gen::Gen;
+
+use std::any::Any;
+use std::collections::HashSet;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Mutex, Once, OnceLock};
+use std::thread::{self, ThreadId};
+
+use aide_util::rng::{Rng as _, SplitMix64, Xoshiro256pp};
+
+/// Default number of generated cases per property.
+pub const DEFAULT_CASES: u32 = 128;
+
+/// Default base seed. Fixed so failures reproduce without any state;
+/// override with `AIDE_PROP_SEED` to explore other streams.
+pub const DEFAULT_SEED: u64 = 0xA1DE_5EED;
+
+/// Runner configuration, resolved from defaults and environment variables.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of generated inputs to test.
+    pub cases: u32,
+    /// Base seed; case `i` derives its RNG from the `i`-th SplitMix64
+    /// output of this seed.
+    pub seed: u64,
+    /// Upper bound on shrink attempts after a failure.
+    pub max_shrink_steps: u32,
+}
+
+impl Config {
+    /// Configuration with the default case count (env vars still win).
+    pub fn from_env() -> Self {
+        Self::from_env_with_cases(DEFAULT_CASES)
+    }
+
+    /// Configuration with an explicit default case count, overridden by
+    /// `AIDE_PROP_CASES` and `AIDE_PROP_SEED` when set.
+    pub fn from_env_with_cases(default_cases: u32) -> Self {
+        let cases = env_u64("AIDE_PROP_CASES")
+            .map(|v| v.min(u32::MAX as u64) as u32)
+            .unwrap_or(default_cases)
+            .max(1);
+        let seed = env_u64("AIDE_PROP_SEED").unwrap_or(DEFAULT_SEED);
+        Self {
+            cases,
+            seed,
+            max_shrink_steps: 2_000,
+        }
+    }
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    let raw = std::env::var(name).ok()?;
+    let raw = raw.trim();
+    let parsed = if let Some(hex) = raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16)
+    } else {
+        raw.parse()
+    };
+    match parsed {
+        Ok(v) => Some(v),
+        Err(_) => panic!("{name}={raw:?} is not a u64 (decimal or 0x-hex)"),
+    }
+}
+
+/// Checks `prop` against `config.cases` inputs drawn from `gen`.
+///
+/// On failure the input is greedily shrunk — candidate simplifications
+/// from [`Gen::shrink`] are retried while they keep failing — and the
+/// minimal counterexample is reported in the panic message together with
+/// the seed and case index needed to replay it.
+///
+/// Panics raised by the property (or the code under test) are treated as
+/// failures and participate in shrinking; their printed backtrace noise is
+/// suppressed for the current thread while the runner is active.
+pub fn check<G, F>(name: &str, config: &Config, gen: &G, prop: F)
+where
+    G: Gen,
+    F: Fn(&G::Value) -> Result<(), String>,
+{
+    let failure = {
+        let _quiet = QuietPanics::new();
+        run_cases(config, gen, &prop)
+    };
+    if let Some(f) = failure {
+        panic!(
+            "property '{name}' falsified at case {case}/{cases} (base seed {seed:#x}, \
+             {steps} shrink steps)\nminimal counterexample: {value:?}\nerror: {error}\n\
+             replay with: AIDE_PROP_SEED={seed:#x} AIDE_PROP_CASES={cases}",
+            case = f.case + 1,
+            cases = config.cases,
+            seed = config.seed,
+            steps = f.shrink_steps,
+            value = f.value,
+            error = f.error,
+        );
+    }
+}
+
+struct Failure<V> {
+    case: u32,
+    value: V,
+    error: String,
+    shrink_steps: u32,
+}
+
+fn run_cases<G, F>(config: &Config, gen: &G, prop: &F) -> Option<Failure<G::Value>>
+where
+    G: Gen,
+    F: Fn(&G::Value) -> Result<(), String>,
+{
+    let mut seeds = SplitMix64::new(config.seed);
+    for case in 0..config.cases {
+        let mut rng = Xoshiro256pp::seed_from_u64(seeds.next_u64());
+        let value = gen.generate(&mut rng);
+        if let Some(error) = run_one(prop, &value) {
+            let (value, error, shrink_steps) = shrink(config, gen, prop, value, error);
+            return Some(Failure {
+                case,
+                value,
+                error,
+                shrink_steps,
+            });
+        }
+    }
+    None
+}
+
+/// Runs the property once, converting both `Err` results and panics from
+/// the code under test into a failure message.
+fn run_one<V, F>(prop: &F, value: &V) -> Option<String>
+where
+    F: Fn(&V) -> Result<(), String>,
+{
+    match panic::catch_unwind(AssertUnwindSafe(|| prop(value))) {
+        Ok(Ok(())) => None,
+        Ok(Err(msg)) => Some(msg),
+        Err(payload) => Some(format!("panicked: {}", panic_message(payload.as_ref()))),
+    }
+}
+
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Greedy shrink: repeatedly move to the first candidate simplification
+/// that still fails, until no candidate fails or the step budget runs out.
+fn shrink<G, F>(
+    config: &Config,
+    gen: &G,
+    prop: &F,
+    mut value: G::Value,
+    mut error: String,
+) -> (G::Value, String, u32)
+where
+    G: Gen,
+    F: Fn(&G::Value) -> Result<(), String>,
+{
+    let mut steps = 0u32;
+    'outer: while steps < config.max_shrink_steps {
+        for candidate in gen.shrink(&value) {
+            steps += 1;
+            if let Some(e) = run_one(prop, &candidate) {
+                value = candidate;
+                error = e;
+                continue 'outer;
+            }
+            if steps >= config.max_shrink_steps {
+                break 'outer;
+            }
+        }
+        break;
+    }
+    (value, error, steps)
+}
+
+/// Suppresses panic-hook output for the current thread while alive.
+///
+/// Shrinking replays a failing property dozens of times; without this, every
+/// replay would print a `thread panicked` line. The hook is installed once
+/// per process and delegates to the previously installed hook for all other
+/// threads, so unrelated tests in the same binary keep their diagnostics.
+struct QuietPanics;
+
+fn suppressed_threads() -> &'static Mutex<HashSet<ThreadId>> {
+    static SET: OnceLock<Mutex<HashSet<ThreadId>>> = OnceLock::new();
+    SET.get_or_init(|| Mutex::new(HashSet::new()))
+}
+
+impl QuietPanics {
+    fn new() -> Self {
+        static INSTALL: Once = Once::new();
+        INSTALL.call_once(|| {
+            let previous = panic::take_hook();
+            panic::set_hook(Box::new(move |info| {
+                let quiet = suppressed_threads()
+                    .lock()
+                    .map(|set| set.contains(&thread::current().id()))
+                    .unwrap_or(false);
+                if !quiet {
+                    previous(info);
+                }
+            }));
+        });
+        suppressed_threads()
+            .lock()
+            .expect("panic-suppression registry poisoned")
+            .insert(thread::current().id());
+        QuietPanics
+    }
+}
+
+impl Drop for QuietPanics {
+    fn drop(&mut self) {
+        if let Ok(mut set) = suppressed_threads().lock() {
+            set.remove(&thread::current().id());
+        }
+    }
+}
+
+/// Declares property tests. See the [module docs](self) for an example.
+///
+/// Grammar: `forall! { [cases = N;] fn name(arg in gen, ...) { body } ... }`
+/// — the optional `cases = N;` prefix sets the default case count for every
+/// property in the invocation (`AIDE_PROP_CASES` still overrides it).
+/// Inside the body, use [`prop_assert!`](crate::prop_assert),
+/// [`prop_assert_eq!`](crate::prop_assert_eq) and
+/// [`prop_assert_ne!`](crate::prop_assert_ne).
+#[macro_export]
+macro_rules! forall {
+    (cases = $cases:expr; $($t:tt)+) => {
+        $crate::__forall_impl! { ($crate::prop::Config::from_env_with_cases($cases)) $($t)+ }
+    };
+    ($($t:tt)+) => {
+        $crate::__forall_impl! { ($crate::prop::Config::from_env()) $($t)+ }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __forall_impl {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:pat_param in $gen:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            #[test]
+            fn $name() {
+                let __config = $cfg;
+                let __gen = ($($gen,)+);
+                $crate::prop::check(stringify!($name), &__config, &__gen, |__value| {
+                    #[allow(unused_mut)]
+                    let ($($arg,)+) = ::core::clone::Clone::clone(__value);
+                    $body
+                    #[allow(unreachable_code)]
+                    ::core::result::Result::Ok(())
+                });
+            }
+        )+
+    };
+}
+
+/// Asserts a condition inside a [`forall!`](crate::forall) property,
+/// failing the case (and triggering shrinking) instead of panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                format!("assertion failed: {}", stringify!($cond)),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Equality assertion for [`forall!`](crate::forall) properties.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::core::result::Result::Err(
+                format!("assertion failed: `{:?}` == `{:?}`", l, r),
+            );
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::core::result::Result::Err(format!(
+                "assertion failed: `{:?}` == `{:?}`: {}",
+                l, r, format!($($fmt)+),
+            ));
+        }
+    }};
+}
+
+/// Inequality assertion for [`forall!`](crate::forall) properties.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return ::core::result::Result::Err(
+                format!("assertion failed: `{:?}` != `{:?}`", l, r),
+            );
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return ::core::result::Result::Err(format!(
+                "assertion failed: `{:?}` != `{:?}`: {}",
+                l, r, format!($($fmt)+),
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::gen;
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let config = Config {
+            cases: 50,
+            seed: 1,
+            max_shrink_steps: 100,
+        };
+        let mut seen = 0u32;
+        let counter = std::cell::Cell::new(0u32);
+        check("always_true", &config, &gen::any_u64(), |_| {
+            counter.set(counter.get() + 1);
+            Ok(())
+        });
+        seen += counter.get();
+        assert_eq!(seen, 50);
+    }
+
+    #[test]
+    fn failing_property_shrinks_to_minimal_counterexample() {
+        // Property: v < 1000. Minimal counterexample is exactly 1000.
+        let config = Config {
+            cases: 200,
+            seed: 3,
+            max_shrink_steps: 10_000,
+        };
+        let g = gen::u64_in(0..1 << 32);
+        let result = std::panic::catch_unwind(|| {
+            check("lt_1000", &config, &g, |&v| {
+                if v < 1000 {
+                    Ok(())
+                } else {
+                    Err(format!("{v} >= 1000"))
+                }
+            });
+        });
+        let msg = match result {
+            Err(payload) => panic_message(payload.as_ref()),
+            Ok(()) => panic!("property should have failed"),
+        };
+        assert!(
+            msg.contains("minimal counterexample: 1000"),
+            "did not shrink to 1000: {msg}"
+        );
+        assert!(msg.contains("AIDE_PROP_SEED=0x3"), "no replay recipe: {msg}");
+    }
+
+    #[test]
+    fn panics_in_the_property_are_caught_and_shrunk() {
+        let config = Config {
+            cases: 100,
+            seed: 7,
+            max_shrink_steps: 10_000,
+        };
+        let g = gen::vec_of(gen::u64_in(0..100), 0..40);
+        let result = std::panic::catch_unwind(|| {
+            check("no_sevens", &config, &g, |v| {
+                // Index math that panics when a 7 is present.
+                let pos = v.iter().position(|&x| x == 7);
+                if let Some(p) = pos {
+                    let _ = v[p + v.len()]; // out of bounds on purpose
+                }
+                Ok(())
+            });
+        });
+        let msg = match result {
+            Err(payload) => panic_message(payload.as_ref()),
+            Ok(()) => panic!("property should have failed"),
+        };
+        // Minimal counterexample is the singleton [7].
+        assert!(
+            msg.contains("minimal counterexample: [7]"),
+            "unexpected shrink result: {msg}"
+        );
+    }
+
+    #[test]
+    fn same_seed_generates_identical_streams() {
+        let config = Config {
+            cases: 20,
+            seed: 99,
+            max_shrink_steps: 0,
+        };
+        let g = gen::vec_of(gen::any_u64(), 0..10);
+        let collect = || {
+            let out = std::cell::RefCell::new(Vec::new());
+            check("collect", &config, &g, |v| {
+                out.borrow_mut().push(v.clone());
+                Ok(())
+            });
+            out.into_inner()
+        };
+        assert_eq!(collect(), collect());
+    }
+
+    forall! {
+        cases = 32;
+        /// The macro itself: multiple args, mut patterns, doc comments.
+        fn forall_macro_smoke(mut v in gen::vec_of(gen::any_u32(), 0..20), n in gen::usize_in(0..5)) {
+            v.truncate(n);
+            prop_assert!(v.len() <= n);
+            prop_assert_eq!(v.len(), v.len());
+            prop_assert_ne!(n, n + 1);
+        }
+    }
+}

@@ -37,9 +37,17 @@ pub trait Rng {
             return lo;
         }
         let v = lo + (hi - lo) * self.next_f64();
-        // Floating point rounding can land exactly on `hi`; clamp back in.
+        // Floating point rounding can land exactly on `hi`. Clamp to the
+        // largest value strictly below `hi` — clamping to `lo` instead
+        // would teleport a draw from the top of the range to the bottom,
+        // biasing boundary-exploitation sampling on thin rectangle faces.
         if v >= hi {
-            lo
+            let capped = hi.next_down();
+            if capped < lo {
+                lo
+            } else {
+                capped
+            }
         } else {
             v
         }
@@ -247,15 +255,17 @@ mod tests {
 
     #[test]
     fn splitmix_matches_reference_vector() {
-        // Reference values for seed 1234567 from the canonical C code.
+        // First three outputs of Vigna's canonical splitmix64.c for seed
+        // 1234567 — a silent typo in the constants cannot pass this.
         let mut rng = SplitMix64::new(1234567);
-        let first = rng.next_u64();
-        let second = rng.next_u64();
-        assert_ne!(first, second);
-        // Determinism: same seed, same stream.
-        let mut rng2 = SplitMix64::new(1234567);
-        assert_eq!(rng2.next_u64(), first);
-        assert_eq!(rng2.next_u64(), second);
+        assert_eq!(rng.next_u64(), 0x599ED017FB08FC85);
+        assert_eq!(rng.next_u64(), 0x2C73F08458540FA5);
+        assert_eq!(rng.next_u64(), 0x883EBCE5A3F27C77);
+        // And the published seed-0 vector.
+        let mut rng0 = SplitMix64::new(0);
+        assert_eq!(rng0.next_u64(), 0xE220A8397B1DCDAF);
+        assert_eq!(rng0.next_u64(), 0x6E789E6AA1B965F4);
+        assert_eq!(rng0.next_u64(), 0x06C45D188009454F);
     }
 
     #[test]
@@ -287,6 +297,57 @@ mod tests {
         }
         assert_eq!(rng.uniform(2.0, 2.0), 2.0);
         assert_eq!(rng.uniform(5.0, 1.0), 5.0);
+    }
+
+    /// An [`Rng`] whose `next_f64` is pinned to the largest value below 1,
+    /// forcing `uniform`'s rounding-to-`hi` clamp path deterministically.
+    struct MaxRng;
+
+    impl Rng for MaxRng {
+        fn next_u64(&mut self) -> u64 {
+            u64::MAX
+        }
+    }
+
+    #[test]
+    fn uniform_clamp_returns_top_of_range_not_bottom() {
+        // lo + (hi - lo) * next_f64() rounds up to exactly `hi` here; the
+        // old clamp returned `lo`, teleporting the draw across the range.
+        let mut rng = MaxRng;
+        let lo = 1.0f64;
+        let hi = 1.0 + 2.0 * f64::EPSILON;
+        let v = rng.uniform(lo, hi);
+        assert!(v >= lo && v < hi, "clamped draw {v} escaped [{lo}, {hi})");
+        assert_eq!(
+            v,
+            hi.next_down(),
+            "clamp must land on the largest value strictly below hi"
+        );
+        assert_ne!(v, lo, "draw at the top of the range teleported to lo");
+    }
+
+    #[test]
+    fn uniform_on_denormal_width_range_stays_in_bounds() {
+        // The thinnest possible range: [0, smallest subnormal). Rounding
+        // lands on `hi` for large draws; next_down(hi) == lo == 0 is the
+        // only value in range and must be returned (never hi itself).
+        let tiny = f64::from_bits(1); // 5e-324, denormal
+        let mut forced = MaxRng;
+        let v = forced.uniform(0.0, tiny);
+        assert_eq!(v, 0.0);
+        assert!(v < tiny);
+        let mut rng = Xoshiro256pp::seed_from_u64(21);
+        for _ in 0..10_000 {
+            let v = rng.uniform(0.0, tiny);
+            assert!((0.0..tiny).contains(&v), "out of range: {v:e}");
+        }
+        // Denormal width somewhere away from zero behaves too.
+        let lo = 3.0f64;
+        let hi = lo.next_up();
+        for _ in 0..1_000 {
+            let v = rng.uniform(lo, hi);
+            assert!(v >= lo && v < hi);
+        }
     }
 
     #[test]

@@ -290,6 +290,63 @@ mod tests {
     }
 
     #[test]
+    fn quantile_empty_input_is_none_for_all_q() {
+        for q in [0.0, 0.25, 0.5, 1.0] {
+            assert_eq!(quantile(&[], q), None);
+        }
+    }
+
+    #[test]
+    fn quantile_single_element_is_constant_in_q() {
+        for q in [0.0, 0.1, 0.5, 0.99, 1.0] {
+            assert_eq!(quantile(&[7.5], q), Some(7.5));
+        }
+    }
+
+    #[test]
+    fn quantile_extremes_are_min_and_max() {
+        let v = [9.0, -3.0, 4.0, 4.0, 12.5];
+        assert_eq!(quantile(&v, 0.0), Some(-3.0));
+        assert_eq!(quantile(&v, 1.0), Some(12.5));
+    }
+
+    #[test]
+    fn quantile_integral_position_hits_last_element_without_overflow() {
+        // pos = q * (len - 1) landing exactly on the last index makes
+        // lo == hi == len - 1; the interpolation must not index past the
+        // end and must return the order statistic exactly.
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(quantile(&v, 1.0), Some(5.0)); // pos = 4.0, lo = hi = 4
+        assert_eq!(quantile(&v, 0.75), Some(4.0)); // pos = 3.0, lo = hi = 3
+        // And just below an integral position, interpolation stays finite
+        // and monotone.
+        let near_one = quantile(&v, 0.999).unwrap();
+        assert!(near_one > 4.9 && near_one <= 5.0, "{near_one}");
+    }
+
+    #[test]
+    fn histogram_single_bin_takes_everything() {
+        let mut h = Histogram::new(-1.0, 1.0, 1);
+        for x in [-5.0, -1.0, 0.0, 1.0, 5.0] {
+            h.push(x);
+        }
+        assert_eq!(h.bins(), 1);
+        assert_eq!(h.count(0), 5);
+        assert!((h.density(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_exact_bin_boundaries_fall_into_upper_bin() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.push(3.0); // exactly on the 2|3 boundary -> bin 3
+        assert_eq!(h.count(3), 1);
+        h.push(0.0); // left edge -> bin 0
+        assert_eq!(h.count(0), 1);
+        h.push(10.0); // right edge clamps into the last bin
+        assert_eq!(h.count(9), 1);
+    }
+
+    #[test]
     fn histogram_bins_and_clamps() {
         let mut h = Histogram::new(0.0, 100.0, 10);
         h.push(5.0); // bin 0

@@ -1,22 +1,34 @@
-//! Property-based tests for the RNG, distribution and geometry substrate.
+//! Property-based tests for the RNG, distribution and geometry substrate,
+//! running on the hermetic `aide-testkit` harness.
 
+use aide_testkit::prop::gen;
+use aide_testkit::{forall, prop_assert, prop_assert_eq};
 use aide_util::geom::Rect;
 use aide_util::rng::{Rng, Xoshiro256pp};
 use aide_util::stats::OnlineStats;
-use proptest::prelude::*;
 
-/// A strategy for valid rectangles in the normalized space.
-fn rect_strategy(dims: usize) -> impl Strategy<Value = Rect> {
-    proptest::collection::vec((0.0f64..100.0, 0.0f64..100.0), dims).prop_map(|bounds| {
-        let lo = bounds.iter().map(|&(a, b)| a.min(b)).collect();
-        let hi = bounds.iter().map(|&(a, b)| a.max(b)).collect();
-        Rect::new(lo, hi)
-    })
+/// A generator of valid rectangle bounds in the normalized space; the
+/// `Rect` itself is constructed in the property body so the raw bounds
+/// keep shrinking.
+fn rect_bounds(dims: usize) -> impl gen::Gen<Value = Vec<(f64, f64)>> {
+    gen::vec_of(
+        (gen::f64_in(0.0..100.0), gen::f64_in(0.0..100.0)),
+        dims..dims + 1,
+    )
 }
 
-proptest! {
-    #[test]
-    fn uniform_stays_in_bounds(seed in any::<u64>(), lo in -1e6f64..1e6, width in 0.0f64..1e6) {
+fn rect_from(bounds: &[(f64, f64)]) -> Rect {
+    let lo = bounds.iter().map(|&(a, b)| a.min(b)).collect();
+    let hi = bounds.iter().map(|&(a, b)| a.max(b)).collect();
+    Rect::new(lo, hi)
+}
+
+forall! {
+    fn uniform_stays_in_bounds(
+        seed in gen::any_u64(),
+        lo in gen::f64_in(-1e6..1e6),
+        width in gen::f64_in(0.0..1e6),
+    ) {
         let mut rng = Xoshiro256pp::seed_from_u64(seed);
         let hi = lo + width;
         for _ in 0..100 {
@@ -26,19 +38,17 @@ proptest! {
         }
     }
 
-    #[test]
-    fn below_is_in_range(seed in any::<u64>(), n in 1u64..1_000_000) {
+    fn below_is_in_range(seed in gen::any_u64(), n in gen::u64_in(1..1_000_000)) {
         let mut rng = Xoshiro256pp::seed_from_u64(seed);
         for _ in 0..100 {
             prop_assert!(rng.below(n) < n);
         }
     }
 
-    #[test]
     fn sample_indices_is_a_subset_without_duplicates(
-        seed in any::<u64>(),
-        n in 0usize..500,
-        k in 0usize..600,
+        seed in gen::any_u64(),
+        n in gen::usize_in(0..500),
+        k in gen::usize_in(0..600),
     ) {
         let mut rng = Xoshiro256pp::seed_from_u64(seed);
         let mut sample = rng.sample_indices(n, k);
@@ -50,8 +60,10 @@ proptest! {
         prop_assert!(sample.iter().all(|&i| i < n));
     }
 
-    #[test]
-    fn shuffle_preserves_multiset(seed in any::<u64>(), mut v in proptest::collection::vec(any::<u32>(), 0..100)) {
+    fn shuffle_preserves_multiset(
+        seed in gen::any_u64(),
+        mut v in gen::vec_of(gen::any_u32(), 0..100),
+    ) {
         let mut rng = Xoshiro256pp::seed_from_u64(seed);
         let mut original = v.clone();
         rng.shuffle(&mut v);
@@ -60,11 +72,12 @@ proptest! {
         prop_assert_eq!(original, v);
     }
 
-    #[test]
     fn rect_intersection_is_commutative_and_contained(
-        a in rect_strategy(3),
-        b in rect_strategy(3),
+        a_bounds in rect_bounds(3),
+        b_bounds in rect_bounds(3),
     ) {
+        let a = rect_from(&a_bounds);
+        let b = rect_from(&b_bounds);
         let ab = a.intersection(&b);
         let ba = b.intersection(&a);
         prop_assert_eq!(&ab, &ba);
@@ -78,18 +91,28 @@ proptest! {
         }
     }
 
-    #[test]
-    fn rect_contains_center_and_expansion_is_monotone(r in rect_strategy(2), margin in 0.0f64..50.0) {
+    fn rect_contains_center_and_expansion_is_monotone(
+        r_bounds in rect_bounds(2),
+        margin in gen::f64_in(0.0..50.0),
+    ) {
+        let r = rect_from(&r_bounds);
         let c = r.center();
         prop_assert!(r.contains(&c));
         let bounds = Rect::full_domain(2);
         let grown = r.expanded(margin, &bounds);
         prop_assert!(grown.contains(&c));
-        prop_assert!(grown.volume() + 1e-9 >= r.intersection(&bounds).map(|i| i.volume()).unwrap_or(0.0));
+        prop_assert!(
+            grown.volume() + 1e-9
+                >= r.intersection(&bounds).map(|i| i.volume()).unwrap_or(0.0)
+        );
     }
 
-    #[test]
-    fn overlap_fraction_is_a_fraction(a in rect_strategy(2), b in rect_strategy(2)) {
+    fn overlap_fraction_is_a_fraction(
+        a_bounds in rect_bounds(2),
+        b_bounds in rect_bounds(2),
+    ) {
+        let a = rect_from(&a_bounds);
+        let b = rect_from(&b_bounds);
         let f = a.overlap_fraction(&b);
         prop_assert!((0.0..=1.0 + 1e-9).contains(&f), "fraction {f}");
         // Self-overlap of a non-degenerate rect is 1.
@@ -98,8 +121,9 @@ proptest! {
         }
     }
 
-    #[test]
-    fn online_stats_mean_is_bounded_by_min_max(values in proptest::collection::vec(-1e9f64..1e9, 1..200)) {
+    fn online_stats_mean_is_bounded_by_min_max(
+        values in gen::vec_of(gen::f64_in(-1e9..1e9), 1..200),
+    ) {
         let mut s = OnlineStats::new();
         for &v in &values {
             s.push(v);
@@ -107,5 +131,33 @@ proptest! {
         prop_assert!(s.mean() >= s.min().unwrap() - 1e-6);
         prop_assert!(s.mean() <= s.max().unwrap() + 1e-6);
         prop_assert!(s.variance() >= 0.0);
+    }
+
+    /// Parallel Welford: merging the stats of any split of a stream is
+    /// equivalent to accumulating the whole stream in one pass.
+    fn online_stats_merge_of_splits_matches_single_pass(
+        values in gen::vec_of(gen::f64_in(-1e9..1e9), 0..200),
+        split in gen::usize_in(0..200),
+    ) {
+        let split = split.min(values.len());
+        let mut left = OnlineStats::new();
+        let mut right = OnlineStats::new();
+        let mut whole = OnlineStats::new();
+        for &v in &values[..split] {
+            left.push(v);
+            whole.push(v);
+        }
+        for &v in &values[split..] {
+            right.push(v);
+            whole.push(v);
+        }
+        left.merge(&right);
+        prop_assert_eq!(left.count(), whole.count());
+        let scale = 1.0 + whole.mean().abs();
+        prop_assert!((left.mean() - whole.mean()).abs() < 1e-9 * scale);
+        let var_scale = 1.0 + whole.variance().abs();
+        prop_assert!((left.variance() - whole.variance()).abs() < 1e-6 * var_scale);
+        prop_assert_eq!(left.min(), whole.min());
+        prop_assert_eq!(left.max(), whole.max());
     }
 }

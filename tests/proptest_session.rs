@@ -1,5 +1,6 @@
 //! Property-based tests over whole exploration sessions: invariants that
-//! must hold for any workload, seed or configuration.
+//! must hold for any workload, seed or configuration — running on the
+//! hermetic `aide-testkit` harness.
 
 use std::sync::Arc;
 
@@ -9,7 +10,8 @@ use aide::data::NumericView;
 use aide::index::{ExtractionEngine, IndexKind};
 use aide::query::parse_selection;
 use aide::util::rng::{Rng, Xoshiro256pp};
-use proptest::prelude::*;
+use aide_testkit::prop::gen;
+use aide_testkit::{forall, prop_assert, prop_assert_eq};
 
 fn make_view(n: usize, seed: u64) -> NumericView {
     let mut rng = Xoshiro256pp::seed_from_u64(seed);
@@ -21,29 +23,28 @@ fn make_view(n: usize, seed: u64) -> NumericView {
     NumericView::new(mapper, data, (0..n as u32).collect())
 }
 
-fn strategy_choice() -> impl Strategy<Value = DiscoveryStrategy> {
-    prop_oneof![
-        Just(DiscoveryStrategy::Grid),
-        Just(DiscoveryStrategy::Clustering),
-        Just(DiscoveryStrategy::Hybrid),
-    ]
+fn strategy_choice() -> impl gen::Gen<Value = DiscoveryStrategy> {
+    gen::choice(vec![
+        DiscoveryStrategy::Grid,
+        DiscoveryStrategy::Clustering,
+        DiscoveryStrategy::Hybrid,
+    ])
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+forall! {
+    cases = 12;
 
     /// Across arbitrary seeds, sizes and strategies, every iteration
     /// respects the sample budget, labels grow monotonically, the
     /// relevant count never exceeds the total, and the labeled rows stay
     /// unique and in range.
-    #[test]
     fn session_invariants_hold(
-        data_seed in 0u64..1_000,
-        session_seed in 0u64..1_000,
-        n in 500usize..3_000,
-        budget in 5usize..30,
+        data_seed in gen::u64_in(0..1_000),
+        session_seed in gen::u64_in(0..1_000),
+        n in gen::usize_in(500..3_000),
+        budget in gen::usize_in(5..30),
         strategy in strategy_choice(),
-        areas in 1usize..4,
+        areas in gen::usize_in(1..4),
     ) {
         let view = Arc::new(make_view(n, data_seed));
         let mut rng = Xoshiro256pp::seed_from_u64(data_seed ^ 0xABCD);
@@ -87,10 +88,9 @@ proptest! {
 
     /// The predicted query always parses back from its own SQL, and its
     /// number of disjuncts equals the model's region count.
-    #[test]
     fn predicted_query_is_always_well_formed(
-        data_seed in 0u64..500,
-        session_seed in 0u64..500,
+        data_seed in gen::u64_in(0..500),
+        session_seed in gen::u64_in(0..500),
     ) {
         let view = Arc::new(make_view(2_000, data_seed));
         let mut rng = Xoshiro256pp::seed_from_u64(data_seed ^ 0x77);
@@ -114,8 +114,7 @@ proptest! {
 
     /// Two sessions with identical seeds and workloads produce identical
     /// traces — full determinism end to end.
-    #[test]
-    fn sessions_are_deterministic(seed in 0u64..500) {
+    fn sessions_are_deterministic(seed in gen::u64_in(0..500)) {
         let run = || {
             let view = Arc::new(make_view(1_500, seed));
             let mut rng = Xoshiro256pp::seed_from_u64(seed ^ 0x99);
