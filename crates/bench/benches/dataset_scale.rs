@@ -4,10 +4,12 @@
 use std::sync::Arc;
 
 use aide_bench::harness::{dense_view, sampled_replica, sdss_table, workloads, ExpOptions};
-use aide_core::{ExplorationSession, SessionConfig, SizeClass};
+use aide_core::{evaluate_model_with, ExplorationSession, SessionConfig, SizeClass};
 use aide_data::NumericView;
 use aide_index::{ExtractionEngine, IndexKind};
-use aide_testkit::bench::Harness;
+use aide_ml::{DecisionTree, TreeParams};
+use aide_testkit::bench::{black_box, Harness};
+use aide_util::par::Pool;
 
 fn main() {
     let mut h = Harness::from_args("dataset_scale");
@@ -55,6 +57,35 @@ fn main() {
         };
         run(format!("full/{rows}"), &full);
         run(format!("sampled10pct/{rows}"), &sampled);
+    }
+    drop(group);
+
+    // Full-view accuracy evaluation — the per-iteration cost the session
+    // excludes above — on 1-thread vs 4-thread pools (bit-identical
+    // results; the pair measures wall-clock only).
+    let mut group = h.group("dataset_scale/eval");
+    for rows in [50_000usize, 200_000] {
+        let table = sdss_table(rows, 1);
+        let full = Arc::new(dense_view(&table));
+        let options = ExpOptions {
+            rows,
+            sessions: 1,
+            seed: 3,
+        };
+        let w = workloads(&full, 1, SizeClass::Large, 2, &options, 0x9B)[0].clone();
+        let n_train = full.len().min(2_000);
+        let labels: Vec<bool> = (0..n_train)
+            .map(|i| w.target.contains(full.point(i)))
+            .collect();
+        let data: Vec<f64> = (0..n_train).flat_map(|i| full.point(i).to_vec()).collect();
+        let tree = DecisionTree::fit(2, &data, &labels, &TreeParams::default());
+        for threads in [1usize, 4] {
+            let pool = Pool::new(threads);
+            let (tree, full, target) = (&tree, &full, &w.target);
+            group.bench(&format!("full_eval_t{threads}/{rows}"), move || {
+                evaluate_model_with(Some(black_box(tree)), full, target, &pool)
+            });
+        }
     }
     drop(group);
     h.finish();

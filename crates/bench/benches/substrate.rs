@@ -6,11 +6,13 @@
 use std::sync::Arc;
 
 use aide_bench::harness::{dense_view, sdss_table};
-use aide_index::{ExtractionEngine, IndexKind};
+use aide_core::{evaluate_model_with, TargetQuery};
+use aide_index::{ExtractionEngine, GridIndex, IndexKind};
 use aide_ml::{DecisionTree, KMeans, TreeParams};
 use aide_query::parse_selection;
 use aide_testkit::bench::{black_box, Harness};
 use aide_util::geom::Rect;
+use aide_util::par::Pool;
 use aide_util::rng::{Rng, Xoshiro256pp};
 
 fn training_set(n: usize, seed: u64) -> (Vec<f64>, Vec<bool>) {
@@ -71,6 +73,28 @@ fn main() {
         let name = format!("{kind:?}").to_lowercase();
         let rect = rect.clone();
         group.bench(&name, move || engine.count_in(black_box(&rect)));
+    }
+    drop(group);
+
+    // --- Parallel hot paths: explicit 1-thread vs 4-thread pools ------------
+    // Results are bit-identical across thread counts (aide_util::par); the
+    // pairs measure the wall-clock effect alone.
+    let target = TargetQuery::new(vec![rect.clone()]);
+    let (tree_data, tree_labels) = training_set(1_000, 5);
+    let tree = DecisionTree::fit(2, &tree_data, &tree_labels, &TreeParams::default());
+    let mut group = h.group("substrate/parallel");
+    for threads in [1usize, 4] {
+        let pool = Pool::new(threads);
+        group.bench(&format!("eval_200k/t{threads}"), || {
+            evaluate_model_with(Some(black_box(&tree)), &view, &target, &pool)
+        });
+        group.bench(&format!("kmeans_k64_5000pts/t{threads}"), || {
+            let mut rng = Xoshiro256pp::seed_from_u64(7);
+            KMeans::fit_with(2, black_box(&data), 64, &mut rng, &pool)
+        });
+        group.bench(&format!("grid_build_200k/t{threads}"), || {
+            GridIndex::build_with(black_box(&view), &pool)
+        });
     }
     drop(group);
 

@@ -147,6 +147,12 @@ pub struct SessionConfig {
     pub phases: PhaseToggles,
     /// Evaluate the F-measure every `eval_every` iterations (1 = always).
     pub eval_every: usize,
+    /// Worker threads for the parallel hot paths (full-view evaluation,
+    /// tree fitting, index construction). 0 = one per available core; the
+    /// `AIDE_THREADS` environment variable overrides this value; 1 runs
+    /// everything inline on the calling thread. Results are bit-identical
+    /// for any setting.
+    pub threads: usize,
 }
 
 impl Default for SessionConfig {
@@ -188,6 +194,7 @@ impl Default for SessionConfig {
             },
             phases: PhaseToggles::default(),
             eval_every: 1,
+            threads: 0,
         }
     }
 }

@@ -7,30 +7,62 @@
 
 use aide_data::NumericView;
 use aide_ml::{ConfusionMatrix, DecisionTree};
+use aide_util::par::Pool;
 
 use crate::target::TargetQuery;
 
+/// Points per parallel work chunk. Fixed (never derived from the thread
+/// count) so the decomposition — and thus the merged matrix — is identical
+/// on any machine; confusion counts are integers, so the merge is exact.
+const EVAL_CHUNK: usize = 4_096;
+
 /// Classifies every point of `view` with `model` (no model = everything
 /// irrelevant) against the `target` ground truth.
+///
+/// Uses the ambient pool ([`Pool::from_env`]): `AIDE_THREADS` or all
+/// available cores. See [`evaluate_model_with`] for an explicit pool.
 pub fn evaluate_model(
     model: Option<&DecisionTree>,
     view: &NumericView,
     target: &TargetQuery,
 ) -> ConfusionMatrix {
-    let mut m = ConfusionMatrix::default();
-    match model {
-        None => {
-            for (_, p) in view.iter() {
-                m.record(false, target.contains(p));
+    evaluate_model_with(model, view, target, &Pool::from_env(0))
+}
+
+/// [`evaluate_model`] over an explicit worker pool. The result is
+/// bit-identical for any thread count.
+pub fn evaluate_model_with(
+    model: Option<&DecisionTree>,
+    view: &NumericView,
+    target: &TargetQuery,
+    pool: &Pool,
+) -> ConfusionMatrix {
+    pool.par_map_reduce(
+        view.len(),
+        EVAL_CHUNK,
+        |range| {
+            let mut m = ConfusionMatrix::default();
+            match model {
+                None => {
+                    for i in range {
+                        m.record(false, target.contains(view.point(i)));
+                    }
+                }
+                Some(tree) => {
+                    for i in range {
+                        let p = view.point(i);
+                        m.record(tree.predict(p), target.contains(p));
+                    }
+                }
             }
-        }
-        Some(tree) => {
-            for (_, p) in view.iter() {
-                m.record(tree.predict(p), target.contains(p));
-            }
-        }
-    }
-    m
+            m
+        },
+        ConfusionMatrix::default(),
+        |mut acc, part| {
+            acc.merge(&part);
+            acc
+        },
+    )
 }
 
 #[cfg(test)]
@@ -71,5 +103,21 @@ mod tests {
         let tree = DecisionTree::fit(2, &data, &labels, &TreeParams::default());
         let m = evaluate_model(Some(&tree), &v, &target);
         assert!(m.f_measure() > 0.999, "F = {}", m.f_measure());
+    }
+
+    #[test]
+    fn parallel_evaluation_matches_serial_exactly() {
+        let v = view(10_000, 3);
+        let target = TargetQuery::new(vec![Rect::new(vec![20.0, 20.0], vec![70.0, 55.0])]);
+        let labels: Vec<bool> = (0..2_000).map(|i| target.contains(v.point(i))).collect();
+        let data: Vec<f64> = (0..2_000).flat_map(|i| v.point(i).to_vec()).collect();
+        let tree = DecisionTree::fit(2, &data, &labels, &TreeParams::default());
+        for model in [None, Some(&tree)] {
+            let serial = evaluate_model_with(model, &v, &target, &Pool::serial());
+            for threads in [2, 4, 7] {
+                let par = evaluate_model_with(model, &v, &target, &Pool::new(threads));
+                assert_eq!(serial, par, "{threads} threads");
+            }
+        }
     }
 }

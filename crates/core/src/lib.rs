@@ -30,7 +30,7 @@ pub mod viz;
 
 pub use builder::Explorer;
 pub use config::{DiscoveryStrategy, Hints, PhaseToggles, SessionConfig, StopCondition};
-pub use eval::evaluate_model;
+pub use eval::{evaluate_model, evaluate_model_with};
 pub use labeled::LabeledSet;
 pub use nonlinear::{Ellipsoid, NonLinearInterest, NonLinearOracle};
 pub use oracle::{CallbackOracle, NoisyOracle, RelevanceOracle};

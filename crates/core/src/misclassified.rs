@@ -33,6 +33,12 @@ pub struct MisclassOutcome {
     pub queries: u64,
     /// Whether the clustering optimization was applied this round.
     pub clustered: bool,
+    /// The false negatives (indices into `labeled`, as passed in) the
+    /// phase actually issued a sampling query around this round. False
+    /// negatives skipped because the budget ran out first are *not*
+    /// listed — retirement accounting must only charge attempts that
+    /// actually happened.
+    pub attempted: Vec<usize>,
 }
 
 /// Picks the sampling distance y: statically from the configuration, or
@@ -77,6 +83,7 @@ pub fn exploit_misclassified(
         samples: Vec::new(),
         queries: 0,
         clustered: false,
+        attempted: Vec::new(),
     };
     if false_negatives.is_empty() || budget == 0 {
         return outcome;
@@ -113,6 +120,10 @@ pub fn exploit_misclassified(
             let got = engine.sample_in_excluding(&area, want, rng, excluded);
             remaining -= got.len();
             outcome.samples.extend(got);
+            // One query covered every member of this cluster.
+            outcome
+                .attempted
+                .extend(km.members(c).into_iter().map(|m| false_negatives[m]));
         }
     } else {
         // One sampling area per false negative (Figure 4).
@@ -127,6 +138,7 @@ pub fn exploit_misclassified(
             let got = engine.sample_in_excluding(&area, want, rng, excluded);
             remaining -= got.len();
             outcome.samples.extend(got);
+            outcome.attempted.push(i);
         }
     }
     outcome.queries = engine.stats().queries - before;
@@ -192,6 +204,7 @@ mod tests {
         );
         assert!(!out.clustered);
         assert_eq!(out.queries, 2, "one query per false negative");
+        assert_eq!(out.attempted, vec![0, 1]);
         assert_eq!(out.samples.len(), 10);
         for s in &out.samples {
             let near_a = (s.point[0] - 20.0).abs() <= 3.0 && (s.point[1] - 20.0).abs() <= 3.0;
@@ -236,6 +249,9 @@ mod tests {
         );
         assert!(out.clustered);
         assert_eq!(out.queries, 2, "one query per cluster");
+        let mut attempted = out.attempted.clone();
+        attempted.sort_unstable();
+        assert_eq!(attempted, (0..8).collect::<Vec<_>>());
         assert!(!out.samples.is_empty());
         for s in &out.samples {
             let near_a = (s.point[0] - 20.0).abs() <= 5.0 && (s.point[1] - 20.0).abs() <= 5.0;
@@ -288,6 +304,9 @@ mod tests {
             &mut rng,
         );
         assert_eq!(out.samples.len(), 7);
+        // The budget ran out on the first false negative: the other two
+        // were never sampled around and must not count as attempts.
+        assert_eq!(out.attempted, vec![0]);
     }
 
     #[test]

@@ -20,12 +20,13 @@ use aide_index::{ExtractionEngine, ExtractionStats, IndexKind, Sample};
 use aide_ml::DecisionTree;
 use aide_query::Selection;
 use aide_util::geom::Rect;
+use aide_util::par::Pool;
 use aide_util::rng::Xoshiro256pp;
 
 use crate::boundary::exploit_boundaries;
 use crate::config::{SessionConfig, StopCondition};
 use crate::discovery::DiscoveryPhase;
-use crate::eval::evaluate_model;
+use crate::eval::evaluate_model_with;
 use crate::labeled::LabeledSet;
 use crate::misclassified::exploit_misclassified;
 use crate::oracle::RelevanceOracle;
@@ -119,6 +120,12 @@ pub struct ExplorationSession {
     iteration: usize,
     history: Vec<IterationReport>,
     last_eval: (f64, f64, f64),
+    /// Whether `last_eval` measures the *current* tree. `eval_every > 1`
+    /// lets iterations skip the full-view evaluation; any consumer that
+    /// acts on the F-measure (a `target_f` stop check, the final result)
+    /// must call `refresh_eval` first instead of trusting a stale triple.
+    eval_fresh: bool,
+    pool: Pool,
 }
 
 impl std::fmt::Debug for ExplorationSession {
@@ -178,6 +185,7 @@ impl ExplorationSession {
         }
         let discovery = DiscoveryPhase::new(&config, &engine, &mut rng);
         let dims = engine.view().dims();
+        let pool = Pool::from_env(config.threads);
         Self {
             config,
             engine,
@@ -195,6 +203,8 @@ impl ExplorationSession {
             iteration: 0,
             history: Vec::new(),
             last_eval: (0.0, 0.0, 0.0),
+            eval_fresh: true,
+            pool,
         }
     }
 
@@ -280,12 +290,14 @@ impl ExplorationSession {
         );
         self.labeled = labels;
         if self.labeled.has_both_classes() {
-            self.tree = Some(DecisionTree::fit(
+            self.tree = Some(DecisionTree::fit_with(
                 self.labeled.dims(),
                 self.labeled.data(),
                 self.labeled.labels(),
                 &self.config.tree,
+                &self.pool,
             ));
+            self.eval_fresh = false;
         }
     }
 
@@ -317,12 +329,7 @@ impl ExplorationSession {
                     .into_iter()
                     .filter(|&i| {
                         let row = self.labeled.row_id(i);
-                        let attempts = self.fn_attempts.entry(row).or_insert(0);
-                        if (*attempts as usize) >= limit {
-                            return false;
-                        }
-                        *attempts += 1;
-                        true
+                        (self.fn_attempts.get(&row).copied().unwrap_or(0) as usize) < limit
                     })
                     .collect();
                 let misclass_budget = ((remaining as f64
@@ -340,6 +347,13 @@ impl ExplorationSession {
                     self.labeled.seen_rows(),
                     &mut self.rng,
                 );
+                // Only the false negatives the phase actually sampled
+                // around count as attempts — a budget-truncated round must
+                // not retire objects it never reached.
+                for &i in &out.attempted {
+                    let row = self.labeled.row_id(i);
+                    *self.fn_attempts.entry(row).or_insert(0) += 1;
+                }
                 remaining -= out.samples.len();
                 misclass_queries = out.queries;
                 proposals.extend(
@@ -401,19 +415,23 @@ impl ExplorationSession {
 
         // --- Retrain the classifier on all labels ------------------------
         if self.labeled.has_both_classes() {
-            self.tree = Some(DecisionTree::fit(
+            self.tree = Some(DecisionTree::fit_with(
                 self.labeled.dims(),
                 self.labeled.data(),
                 self.labeled.labels(),
                 &self.config.tree,
+                &self.pool,
             ));
         }
 
         // --- Evaluate over the full data space ----------------------------
         if let Some(truth) = &self.ground_truth {
             if self.iteration.is_multiple_of(self.config.eval_every.max(1)) || new_samples == 0 {
-                let m = evaluate_model(self.tree.as_ref(), &self.eval_view, truth);
+                let m = evaluate_model_with(self.tree.as_ref(), &self.eval_view, truth, &self.pool);
                 self.last_eval = (m.f_measure(), m.precision(), m.recall());
+                self.eval_fresh = true;
+            } else {
+                self.eval_fresh = false;
             }
         }
         let (f, p, r) = self.last_eval;
@@ -441,19 +459,45 @@ impl ExplorationSession {
         self.history.last().expect("just pushed")
     }
 
+    /// Re-evaluates the current model if `last_eval` is stale (an
+    /// iteration skipped its evaluation under `eval_every > 1`), patching
+    /// the most recent report so the trace matches what consumers see.
+    /// No-op without ground truth or when the measurement is fresh.
+    fn refresh_eval(&mut self) {
+        if self.eval_fresh {
+            return;
+        }
+        let Some(truth) = &self.ground_truth else {
+            return;
+        };
+        let m = evaluate_model_with(self.tree.as_ref(), &self.eval_view, truth, &self.pool);
+        self.last_eval = (m.f_measure(), m.precision(), m.recall());
+        self.eval_fresh = true;
+        if let Some(last) = self.history.last_mut() {
+            if last.iteration + 1 == self.iteration {
+                last.f_measure = self.last_eval.0;
+                last.precision = self.last_eval.1;
+                last.recall = self.last_eval.2;
+            }
+        }
+    }
+
     /// Runs iterations until the stop condition fires (or exploration
     /// stalls: three consecutive iterations without a single new sample).
     pub fn run(&mut self, stop: StopCondition) -> SessionResult {
         let mut stalled = 0usize;
         while self.iteration < stop.max_iterations {
             let report = self.run_iteration();
-            let f = report.f_measure;
+            let new_samples = report.new_samples;
             let labeled = report.total_labeled;
-            stalled = if report.new_samples == 0 {
-                stalled + 1
-            } else {
-                0
-            };
+            stalled = if new_samples == 0 { stalled + 1 } else { 0 };
+            // A target-F stop must judge the *current* model: under
+            // `eval_every > 1` the cached measurement can lag several
+            // iterations behind and would stop the session early or late.
+            if stop.target_f.is_some() {
+                self.refresh_eval();
+            }
+            let f = self.last_eval.0;
             if stop.target_f.is_some_and(|t| f >= t)
                 || stop.max_labels.is_some_and(|m| labeled >= m)
                 || stalled >= 3
@@ -461,6 +505,9 @@ impl ExplorationSession {
                 break;
             }
         }
+        // The reported final F must measure the final model even when the
+        // last iteration skipped its evaluation.
+        self.refresh_eval();
         self.result()
     }
 
@@ -601,6 +648,108 @@ mod tests {
         assert!(h
             .windows(2)
             .all(|w| w[1].total_labeled >= w[0].total_labeled));
+    }
+
+    #[test]
+    fn target_f_stop_is_judged_on_fresh_eval_under_eval_every() {
+        // Regression test: with `eval_every > 1` the run() loop used to
+        // check `target_f` against a cached F-measure up to four
+        // iterations old, stopping late (and reporting a stale final F).
+        // Evaluation consumes no randomness, so two runs differing only
+        // in `eval_every` follow identical label traces and must stop at
+        // the same iteration with the same fresh final F.
+        let stop = StopCondition {
+            target_f: Some(0.8),
+            max_labels: Some(600),
+            max_iterations: 60,
+        };
+        let run_with = |eval_every: usize| {
+            let view = uniform_view(20_000, 2, 3);
+            let config = SessionConfig {
+                eval_every,
+                ..SessionConfig::default()
+            };
+            let mut s = ExplorationSession::from_view(config, view, single_area_target(), 4);
+            s.run(stop)
+        };
+        let every = run_with(1);
+        assert!(every.final_f >= 0.8, "baseline failed to converge");
+        let sparse = run_with(5);
+        assert_eq!(sparse.iterations, every.iterations, "stopped late or early");
+        assert_eq!(sparse.total_labeled, every.total_labeled);
+        assert!(sparse.final_f >= 0.8, "stale final F: {}", sparse.final_f);
+    }
+
+    #[test]
+    fn budget_starved_false_negatives_are_not_charged_attempts() {
+        // Regression test: retirement attempts used to be charged while
+        // *listing* false negatives, so an FN the phase never reached
+        // (budget exhausted on earlier FNs) could retire unsampled. With
+        // `misclass_retire_after: 1`, one phantom attempt is enough to
+        // retire it forever.
+        let view = uniform_view(20_000, 2, 17);
+        let target = TargetQuery::new(vec![
+            Rect::new(vec![18.0, 18.0], vec![22.0, 22.0]),
+            Rect::new(vec![78.0, 78.0], vec![82.0, 82.0]),
+        ]);
+        let config = SessionConfig {
+            phases: crate::config::PhaseToggles {
+                discovery: false,
+                misclassified: true,
+                boundary: false,
+            },
+            clustered_misclassified: false,
+            misclass_retire_after: 1,
+            misclass_f: 20,
+            samples_per_iteration: 20,
+            ..SessionConfig::default()
+        };
+        let mut s = ExplorationSession::from_view(config, view, target, 18);
+        // Seed two isolated relevant objects (rows outside the view) plus
+        // irrelevant spread: with min_samples_leaf = 2 neither can form
+        // its own pure leaf, so both start as false negatives.
+        let mut labels = LabeledSet::new(2);
+        let seed_points: [([f64; 2], bool); 6] = [
+            ([20.0, 20.0], true),
+            ([80.0, 80.0], true),
+            ([50.0, 50.0], false),
+            ([5.0, 90.0], false),
+            ([90.0, 5.0], false),
+            ([50.0, 5.0], false),
+        ];
+        for (i, (p, relevant)) in seed_points.iter().enumerate() {
+            labels.push(
+                &Sample {
+                    view_index: i as u32,
+                    row_id: 1_000_000 + i as u32,
+                    point: p.to_vec(),
+                },
+                *relevant,
+            );
+        }
+        s.seed_labels(labels);
+
+        // Iteration 1: the f = 20 samples around the first FN consume the
+        // whole 20-sample budget, so the second FN is never sampled
+        // around — it must not be charged an attempt.
+        let r1 = s.run_iteration();
+        assert!(r1.misclass_samples > 0, "phase did not run");
+        assert_eq!(s.fn_attempts.get(&1_000_000), Some(&1));
+        assert_eq!(
+            s.fn_attempts.get(&1_000_001),
+            None,
+            "budget-starved FN was charged an attempt it never got"
+        );
+
+        // Iteration 2: the first FN is retired (1 attempt >= limit) or
+        // absorbed; the second is still eligible and finally gets its
+        // sampling round.
+        let r2 = s.run_iteration();
+        assert!(
+            r2.misclass_samples > 0,
+            "second FN retired without ever being sampled around"
+        );
+        assert_eq!(s.fn_attempts.get(&1_000_001), Some(&1));
     }
 
     #[test]

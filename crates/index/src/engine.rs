@@ -12,6 +12,7 @@ use std::time::{Duration, Instant};
 
 use aide_data::NumericView;
 use aide_util::geom::Rect;
+use aide_util::par::Pool;
 use aide_util::rng::Rng;
 
 use crate::{GridIndex, KdTree, RegionIndex, ScanIndex, SortedIndex};
@@ -78,12 +79,19 @@ impl ExtractionEngine {
         Self::from_arc(Arc::new(view), kind)
     }
 
-    /// Builds an engine over a shared view.
+    /// Builds an engine over a shared view, constructing the index on the
+    /// ambient pool ([`Pool::from_env`]).
     pub fn from_arc(view: Arc<NumericView>, kind: IndexKind) -> Self {
+        Self::from_arc_with(view, kind, &Pool::from_env(0))
+    }
+
+    /// Builds an engine over a shared view, constructing the index on an
+    /// explicit worker pool. Indexes are identical for any thread count.
+    pub fn from_arc_with(view: Arc<NumericView>, kind: IndexKind, pool: &Pool) -> Self {
         let index: Box<dyn RegionIndex> = match kind {
-            IndexKind::Grid => Box::new(GridIndex::build(&view)),
-            IndexKind::KdTree => Box::new(KdTree::build(&view)),
-            IndexKind::Sorted => Box::new(SortedIndex::build(&view)),
+            IndexKind::Grid => Box::new(GridIndex::build_with(&view, pool)),
+            IndexKind::KdTree => Box::new(KdTree::build_with(&view, pool)),
+            IndexKind::Sorted => Box::new(SortedIndex::build_with(&view, pool)),
             IndexKind::Scan => Box::new(ScanIndex::new()),
         };
         Self {
@@ -130,9 +138,17 @@ impl ExtractionEngine {
         out.indices
     }
 
-    /// Number of points inside `rect` (one extraction query).
+    /// Number of points inside `rect` (one extraction query). Counts via
+    /// [`RegionIndex::count`], which never materializes the matching-index
+    /// vector — density probes over large rectangles stay allocation-free.
     pub fn count_in(&mut self, rect: &Rect) -> usize {
-        self.query_in(rect).len()
+        let start = Instant::now();
+        let out = self.index.count(&self.view, rect);
+        self.stats.queries += 1;
+        self.stats.tuples_examined += out.examined as u64;
+        self.stats.tuples_returned += out.count as u64;
+        self.stats.elapsed += start.elapsed();
+        out.count
     }
 
     /// Fraction of all points lying inside `rect` (one extraction query);

@@ -9,11 +9,12 @@
 
 use aide_data::NumericView;
 use aide_util::geom::Rect;
+use aide_util::par::Pool;
 
-use crate::{QueryOutput, RegionIndex};
+use crate::{CountOutput, QueryOutput, RegionIndex};
 
 /// Grid index over a [`NumericView`]'s normalized points.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GridIndex {
     dims: usize,
     resolution: usize,
@@ -26,14 +27,27 @@ impl GridIndex {
     /// indexes (the paper explores up to 5-D) from exploding.
     const MAX_CELLS: usize = 1 << 20;
 
+    /// Views smaller than this build serially even on a parallel pool.
+    const PAR_BUILD_MIN_POINTS: usize = 8_192;
+
+    /// Points per parallel chunk of the cell-id mapping pass.
+    const BUILD_CHUNK: usize = 8_192;
+
     /// Builds a grid index with a heuristically chosen resolution:
     /// roughly `n^(1/d)` buckets per dimension, clamped to `[2, 64]` and
-    /// to the total-cell cap.
+    /// to the total-cell cap. Uses the ambient pool ([`Pool::from_env`]).
     pub fn build(view: &NumericView) -> Self {
+        Self::build_with(view, &Pool::from_env(0))
+    }
+
+    /// [`GridIndex::build`] over an explicit worker pool. The index is
+    /// identical for any thread count: the parallel pass only computes
+    /// cell ids, and the scatter into cells stays in view order.
+    pub fn build_with(view: &NumericView, pool: &Pool) -> Self {
         let dims = view.dims();
         let n = view.len().max(1) as f64;
         let target = n.powf(1.0 / dims as f64).ceil() as usize;
-        Self::with_resolution(view, target.clamp(2, 64))
+        Self::with_resolution_in(view, target.clamp(2, 64), pool)
     }
 
     /// Builds a grid index with an explicit per-dimension resolution.
@@ -42,6 +56,10 @@ impl GridIndex {
     ///
     /// Panics if `resolution < 1`.
     pub fn with_resolution(view: &NumericView, resolution: usize) -> Self {
+        Self::with_resolution_in(view, resolution, &Pool::serial())
+    }
+
+    fn with_resolution_in(view: &NumericView, resolution: usize, pool: &Pool) -> Self {
         assert!(resolution >= 1, "grid resolution must be at least 1");
         let dims = view.dims();
         let mut resolution = resolution;
@@ -49,9 +67,20 @@ impl GridIndex {
             resolution -= 1;
         }
         let mut cells = vec![Vec::new(); total_cells(resolution, dims)];
-        for (i, point) in view.iter() {
-            let cell = Self::cell_of(point, resolution);
-            cells[cell].push(i as u32);
+        if pool.is_serial() || view.len() < Self::PAR_BUILD_MIN_POINTS {
+            for (i, point) in view.iter() {
+                let cell = Self::cell_of(point, resolution);
+                cells[cell].push(i as u32);
+            }
+        } else {
+            let ids = pool.par_map_collect(view.len(), Self::BUILD_CHUNK, |range| {
+                range
+                    .map(|i| Self::cell_of(view.point(i), resolution))
+                    .collect()
+            });
+            for (i, cell) in ids.into_iter().enumerate() {
+                cells[cell].push(i as u32);
+            }
         }
         Self {
             dims,
@@ -134,6 +163,48 @@ impl RegionIndex for GridIndex {
             loop {
                 if d == 0 {
                     return QueryOutput { indices, examined };
+                }
+                d -= 1;
+                if buckets[d] < ranges[d].1 {
+                    buckets[d] += 1;
+                    break;
+                }
+                buckets[d] = ranges[d].0;
+            }
+        }
+    }
+
+    fn count(&self, view: &NumericView, rect: &Rect) -> CountOutput {
+        assert_eq!(rect.dims(), self.dims, "query dimensionality mismatch");
+        let ranges: Vec<(usize, usize)> = (0..self.dims)
+            .map(|d| self.bucket_range(rect.lo(d), rect.hi(d)))
+            .collect();
+        let mut count = 0usize;
+        let mut examined = 0usize;
+        let mut buckets: Vec<usize> = ranges.iter().map(|&(lo, _)| lo).collect();
+        loop {
+            let cell_rect = self.bucket_rect(&buckets);
+            let flat = buckets
+                .iter()
+                .fold(0usize, |acc, &b| acc * self.resolution + b);
+            let cell = &self.cells[flat];
+            if !cell.is_empty() {
+                let fully_inside = (0..self.dims)
+                    .all(|d| cell_rect.lo(d) >= rect.lo(d) && cell_rect.hi(d) <= rect.hi(d));
+                if fully_inside {
+                    count += cell.len();
+                } else {
+                    examined += cell.len();
+                    count += cell
+                        .iter()
+                        .filter(|&&i| rect.contains(view.point(i as usize)))
+                        .count();
+                }
+            }
+            let mut d = self.dims;
+            loop {
+                if d == 0 {
+                    return CountOutput { count, examined };
                 }
                 d -= 1;
                 if buckets[d] < ranges[d].1 {
@@ -243,10 +314,25 @@ mod tests {
     fn count_agrees_with_query() {
         let view = uniform_view(3_000, 2, 5);
         let idx = GridIndex::build(&view);
-        let rect = Rect::new(vec![25.0, 25.0], vec![75.0, 75.0]);
-        assert_eq!(
-            idx.count(&view, &rect),
-            idx.query(&view, &rect).indices.len()
-        );
+        for rect in [
+            Rect::new(vec![25.0, 25.0], vec![75.0, 75.0]),
+            Rect::full_domain(2),
+            Rect::new(vec![1.0, 1.0], vec![2.0, 2.0]),
+        ] {
+            let full = idx.query(&view, &rect);
+            let fast = idx.count(&view, &rect);
+            assert_eq!(fast.count, full.indices.len());
+            assert_eq!(fast.examined, full.examined);
+        }
+    }
+
+    #[test]
+    fn parallel_build_is_identical_to_serial() {
+        let view = uniform_view(20_000, 2, 6);
+        let serial = GridIndex::build_with(&view, &Pool::serial());
+        for threads in [2, 4] {
+            let par = GridIndex::build_with(&view, &Pool::new(threads));
+            assert_eq!(serial, par, "{threads} threads");
+        }
     }
 }

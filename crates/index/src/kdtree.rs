@@ -7,12 +7,16 @@
 
 use aide_data::NumericView;
 use aide_util::geom::Rect;
+use aide_util::par::Pool;
 
-use crate::{QueryOutput, RegionIndex};
+use crate::{CountOutput, QueryOutput, RegionIndex};
 
 const LEAF_SIZE: usize = 32;
 
-#[derive(Debug, Clone)]
+/// Subtrees smaller than this build serially even with fork budget left.
+const PAR_BUILD_MIN_POINTS: usize = 4_096;
+
+#[derive(Debug, Clone, PartialEq)]
 enum Node {
     /// Interior node: split `dim` at `value`; points with
     /// `point[dim] <= value` go left.
@@ -27,7 +31,7 @@ enum Node {
 }
 
 /// A k-d tree over a [`NumericView`]'s normalized points.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct KdTree {
     dims: usize,
     nodes: Vec<Node>,
@@ -36,10 +40,25 @@ pub struct KdTree {
 
 impl KdTree {
     /// Builds a tree by recursive median splits on the widest dimension.
+    /// Uses the ambient pool ([`Pool::from_env`]).
     pub fn build(view: &NumericView) -> Self {
+        Self::build_with(view, &Pool::from_env(0))
+    }
+
+    /// [`KdTree::build`] over an explicit worker pool: the two halves of
+    /// each split build concurrently down to [`Pool::fork_depth`] levels.
+    /// Both the split choices and the node layout — left subtree first,
+    /// then right, then the parent — match the serial recursion exactly,
+    /// so the tree is identical for any thread count.
+    pub fn build_with(view: &NumericView, pool: &Pool) -> Self {
         let mut indices: Vec<u32> = (0..view.len() as u32).collect();
         let mut nodes = Vec::new();
-        let root = Self::build_node(view, &mut indices[..], &mut nodes);
+        let budget = if pool.is_serial() {
+            0
+        } else {
+            pool.fork_depth()
+        };
+        let root = Self::build_node_forked(view, &mut indices[..], &mut nodes, pool, budget);
         Self {
             dims: view.dims(),
             nodes,
@@ -48,11 +67,78 @@ impl KdTree {
     }
 
     fn build_node(view: &NumericView, indices: &mut [u32], nodes: &mut Vec<Node>) -> usize {
+        match Self::split_point(view, indices) {
+            None => {
+                nodes.push(Node::Leaf {
+                    indices: indices.to_vec(),
+                });
+                nodes.len() - 1
+            }
+            Some((dim, value, split_at)) => {
+                let (left_slice, right_slice) = indices.split_at_mut(split_at);
+                let left = Self::build_node(view, left_slice, nodes);
+                let right = Self::build_node(view, right_slice, nodes);
+                nodes.push(Node::Split {
+                    dim,
+                    value,
+                    left,
+                    right,
+                });
+                nodes.len() - 1
+            }
+        }
+    }
+
+    /// Recursive build that forks the two subtrees onto the pool while
+    /// `budget > 0` and the slice is large enough to pay for a thread.
+    /// Each forked subtree builds into its own node vector; the vectors
+    /// are appended left-then-right with child links rebased, reproducing
+    /// the exact node order of [`KdTree::build_node`].
+    fn build_node_forked(
+        view: &NumericView,
+        indices: &mut [u32],
+        nodes: &mut Vec<Node>,
+        pool: &Pool,
+        budget: usize,
+    ) -> usize {
+        if budget == 0 || indices.len() < PAR_BUILD_MIN_POINTS {
+            return Self::build_node(view, indices, nodes);
+        }
+        match Self::split_point(view, indices) {
+            None => {
+                nodes.push(Node::Leaf {
+                    indices: indices.to_vec(),
+                });
+                nodes.len() - 1
+            }
+            Some((dim, value, split_at)) => {
+                let (left_slice, right_slice) = indices.split_at_mut(split_at);
+                let build_half = |half: &mut [u32]| {
+                    let mut sub = Vec::new();
+                    let root = Self::build_node_forked(view, half, &mut sub, pool, budget - 1);
+                    (sub, root)
+                };
+                let ((lsub, lroot), (rsub, rroot)) =
+                    pool.join(|| build_half(left_slice), || build_half(right_slice));
+                let left = append_subtree(nodes, lsub, lroot);
+                let right = append_subtree(nodes, rsub, rroot);
+                nodes.push(Node::Split {
+                    dim,
+                    value,
+                    left,
+                    right,
+                });
+                nodes.len() - 1
+            }
+        }
+    }
+
+    /// Chooses the split for `indices` and partitions them in place:
+    /// `Some((dim, value, split_at))` with everything `<= value` in
+    /// `indices[..split_at]`, or `None` when the slice must become a leaf.
+    fn split_point(view: &NumericView, indices: &mut [u32]) -> Option<(usize, f64, usize)> {
         if indices.len() <= LEAF_SIZE {
-            nodes.push(Node::Leaf {
-                indices: indices.to_vec(),
-            });
-            return nodes.len() - 1;
+            return None;
         }
         // Split the dimension with the largest spread among these points.
         let dims = view.dims();
@@ -73,10 +159,7 @@ impl KdTree {
         }
         if best_spread == 0.0 {
             // All points identical along every dimension: cannot split.
-            nodes.push(Node::Leaf {
-                indices: indices.to_vec(),
-            });
-            return nodes.len() - 1;
+            return None;
         }
         let mid = indices.len() / 2;
         indices.select_nth_unstable_by(mid, |&a, &b| {
@@ -91,27 +174,29 @@ impl KdTree {
         let split_at = partition_by_value(view, indices, best_dim, split_value);
         if split_at == 0 || split_at == indices.len() {
             // Degenerate (mass of duplicates): fall back to a leaf.
-            nodes.push(Node::Leaf {
-                indices: indices.to_vec(),
-            });
-            return nodes.len() - 1;
+            return None;
         }
-        let (left_slice, right_slice) = indices.split_at_mut(split_at);
-        let left = Self::build_node(view, left_slice, nodes);
-        let right = Self::build_node(view, right_slice, nodes);
-        nodes.push(Node::Split {
-            dim: best_dim,
-            value: split_value,
-            left,
-            right,
-        });
-        nodes.len() - 1
+        Some((best_dim, split_value, split_at))
     }
 
     /// Number of nodes (for diagnostics).
     pub fn num_nodes(&self) -> usize {
         self.nodes.len()
     }
+}
+
+/// Appends a forked subtree's nodes, rebasing its internal child links,
+/// and returns the subtree root's index in `nodes`.
+fn append_subtree(nodes: &mut Vec<Node>, mut sub: Vec<Node>, root: usize) -> usize {
+    let base = nodes.len();
+    for node in &mut sub {
+        if let Node::Split { left, right, .. } = node {
+            *left += base;
+            *right += base;
+        }
+    }
+    nodes.append(&mut sub);
+    base + root
 }
 
 /// Reorders `indices` so points with `point[dim] <= value` come first;
@@ -169,6 +254,44 @@ impl RegionIndex for KdTree {
             }
         }
         QueryOutput { indices, examined }
+    }
+
+    fn count(&self, view: &NumericView, rect: &Rect) -> CountOutput {
+        assert_eq!(rect.dims(), self.dims, "query dimensionality mismatch");
+        if self.nodes.is_empty() {
+            return CountOutput {
+                count: 0,
+                examined: 0,
+            };
+        }
+        let mut count = 0usize;
+        let mut examined = 0usize;
+        let mut stack = vec![self.root];
+        while let Some(node) = stack.pop() {
+            match &self.nodes[node] {
+                Node::Leaf { indices: bucket } => {
+                    examined += bucket.len();
+                    count += bucket
+                        .iter()
+                        .filter(|&&i| rect.contains(view.point(i as usize)))
+                        .count();
+                }
+                Node::Split {
+                    dim,
+                    value,
+                    left,
+                    right,
+                } => {
+                    if rect.lo(*dim) <= *value {
+                        stack.push(*left);
+                    }
+                    if rect.hi(*dim) > *value {
+                        stack.push(*right);
+                    }
+                }
+            }
+        }
+        CountOutput { count, examined }
     }
 
     fn name(&self) -> &'static str {
@@ -250,6 +373,33 @@ mod tests {
         let got = tree.query(&view, &rect).indices.len();
         assert_eq!(got, view.count_in(&rect));
         assert!(got >= (0.85 * n as f64) as usize);
+    }
+
+    #[test]
+    fn count_agrees_with_query() {
+        let view = uniform_view(5_000, 3, 8);
+        let tree = KdTree::build(&view);
+        for rect in [
+            Rect::new(vec![10.0; 3], vec![60.0; 3]),
+            Rect::full_domain(3),
+            Rect::new(vec![95.0; 3], vec![100.0; 3]),
+        ] {
+            let full = tree.query(&view, &rect);
+            let fast = tree.count(&view, &rect);
+            assert_eq!(fast.count, full.indices.len());
+            assert_eq!(fast.examined, full.examined);
+        }
+    }
+
+    #[test]
+    fn parallel_build_is_identical_to_serial() {
+        // Big enough that forks actually trigger (PAR_BUILD_MIN_POINTS).
+        let view = uniform_view(30_000, 2, 12);
+        let serial = KdTree::build_with(&view, &Pool::serial());
+        for threads in [2, 4, 8] {
+            let par = KdTree::build_with(&view, &Pool::new(threads));
+            assert_eq!(serial, par, "{threads} threads");
+        }
     }
 
     #[test]

@@ -44,6 +44,16 @@ pub struct QueryOutput {
     pub examined: usize,
 }
 
+/// Result of a counting query: how many points match plus how many were
+/// examined, with no per-match allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CountOutput {
+    /// Number of points inside the query rectangle.
+    pub count: usize,
+    /// Points whose coordinates were compared against the rectangle.
+    pub examined: usize,
+}
+
 /// A spatial access path over a [`NumericView`].
 ///
 /// Implementations return *view indices* (positions in the view, not table
@@ -53,9 +63,18 @@ pub trait RegionIndex: Send + Sync {
     /// All view indices whose points lie inside `rect`.
     fn query(&self, view: &NumericView, rect: &Rect) -> QueryOutput;
 
-    /// Number of points inside `rect`.
-    fn count(&self, view: &NumericView, rect: &Rect) -> usize {
-        self.query(view, rect).indices.len()
+    /// Number of points inside `rect`. The default routes through
+    /// [`RegionIndex::query`]; every in-tree index overrides it with a
+    /// traversal that never materializes the matching index vector —
+    /// density probes over large rectangles are issued every iteration by
+    /// the grid-discovery phase, and allocating the full result just to
+    /// take its length dominated their cost.
+    fn count(&self, view: &NumericView, rect: &Rect) -> CountOutput {
+        let out = self.query(view, rect);
+        CountOutput {
+            count: out.indices.len(),
+            examined: out.examined,
+        }
     }
 
     /// Human-readable name for diagnostics and benches.

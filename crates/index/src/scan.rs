@@ -9,7 +9,7 @@
 use aide_data::NumericView;
 use aide_util::geom::Rect;
 
-use crate::{QueryOutput, RegionIndex};
+use crate::{CountOutput, QueryOutput, RegionIndex};
 
 /// An index-free access path that examines every point on every query.
 #[derive(Debug, Clone, Copy, Default)]
@@ -31,6 +31,14 @@ impl RegionIndex for ScanIndex {
             .collect();
         QueryOutput {
             indices,
+            examined: view.len(),
+        }
+    }
+
+    fn count(&self, view: &NumericView, rect: &Rect) -> CountOutput {
+        let count = view.iter().filter(|(_, p)| rect.contains(p)).count();
+        CountOutput {
+            count,
             examined: view.len(),
         }
     }

@@ -14,11 +14,12 @@
 
 use aide_data::NumericView;
 use aide_util::geom::Rect;
+use aide_util::par::Pool;
 
-use crate::{QueryOutput, RegionIndex};
+use crate::{CountOutput, QueryOutput, RegionIndex};
 
 /// Sorted `(value, view index)` lists, one per dimension.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SortedIndex {
     dims: usize,
     /// Per dimension: view indices sorted by that dimension's value, plus
@@ -26,32 +27,43 @@ pub struct SortedIndex {
     columns: Vec<SortedColumn>,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 struct SortedColumn {
     values: Vec<f64>,
     indices: Vec<u32>,
 }
 
 impl SortedIndex {
-    /// Builds the index by sorting each dimension once.
+    /// Builds the index by sorting each dimension once. Uses the ambient
+    /// pool ([`Pool::from_env`]).
     pub fn build(view: &NumericView) -> Self {
+        Self::build_with(view, &Pool::from_env(0))
+    }
+
+    /// [`SortedIndex::build`] over an explicit worker pool: dimensions
+    /// sort concurrently, and the columns are collected in dimension
+    /// order, so the index is identical for any thread count.
+    pub fn build_with(view: &NumericView, pool: &Pool) -> Self {
         let dims = view.dims();
         let n = view.len();
-        let columns = (0..dims)
-            .map(|d| {
-                let mut order: Vec<u32> = (0..n as u32).collect();
-                order.sort_unstable_by(|&a, &b| {
-                    view.point(a as usize)[d]
-                        .partial_cmp(&view.point(b as usize)[d])
-                        .expect("normalized coordinates are finite")
-                });
-                let values = order.iter().map(|&i| view.point(i as usize)[d]).collect();
-                SortedColumn {
-                    values,
-                    indices: order,
-                }
-            })
-            .collect();
+        let sort_dim = |d: usize| {
+            let mut order: Vec<u32> = (0..n as u32).collect();
+            order.sort_unstable_by(|&a, &b| {
+                view.point(a as usize)[d]
+                    .partial_cmp(&view.point(b as usize)[d])
+                    .expect("normalized coordinates are finite")
+            });
+            let values = order.iter().map(|&i| view.point(i as usize)[d]).collect();
+            SortedColumn {
+                values,
+                indices: order,
+            }
+        };
+        let columns = if pool.is_serial() || dims < 2 {
+            (0..dims).map(sort_dim).collect()
+        } else {
+            pool.par_map_collect(dims, 1, |range| range.map(sort_dim).collect())
+        };
         Self { dims, columns }
     }
 
@@ -93,6 +105,34 @@ impl RegionIndex for SortedIndex {
             .collect();
         QueryOutput {
             indices,
+            examined: candidates.len(),
+        }
+    }
+
+    fn count(&self, view: &NumericView, rect: &Rect) -> CountOutput {
+        assert_eq!(rect.dims(), self.dims, "query dimensionality mismatch");
+        if self.columns.is_empty() || self.columns[0].indices.is_empty() {
+            return CountOutput {
+                count: 0,
+                examined: 0,
+            };
+        }
+        let mut best_d = 0;
+        let mut best_range = self.range_of(0, rect.lo(0), rect.hi(0));
+        for d in 1..self.dims {
+            let range = self.range_of(d, rect.lo(d), rect.hi(d));
+            if range.1 - range.0 < best_range.1 - best_range.0 {
+                best_d = d;
+                best_range = range;
+            }
+        }
+        let candidates = &self.columns[best_d].indices[best_range.0..best_range.1];
+        let count = candidates
+            .iter()
+            .filter(|&&i| rect.contains(view.point(i as usize)))
+            .count();
+        CountOutput {
+            count,
             examined: candidates.len(),
         }
     }
@@ -176,6 +216,31 @@ mod tests {
         // A range outside the data: no candidates at all.
         let out = idx.query(&view, &Rect::new(vec![100.0], vec![100.0]));
         assert!(out.indices.is_empty());
+    }
+
+    #[test]
+    fn count_agrees_with_query() {
+        let view = uniform_view(4_000, 3, 13);
+        let idx = SortedIndex::build(&view);
+        for rect in [
+            Rect::new(vec![20.0; 3], vec![70.0; 3]),
+            Rect::new(vec![0.0, 49.0, 0.0], vec![100.0, 51.0, 100.0]),
+        ] {
+            let full = idx.query(&view, &rect);
+            let fast = idx.count(&view, &rect);
+            assert_eq!(fast.count, full.indices.len());
+            assert_eq!(fast.examined, full.examined);
+        }
+    }
+
+    #[test]
+    fn parallel_build_is_identical_to_serial() {
+        let view = uniform_view(10_000, 4, 14);
+        let serial = SortedIndex::build_with(&view, &Pool::serial());
+        for threads in [2, 4] {
+            let par = SortedIndex::build_with(&view, &Pool::new(threads));
+            assert_eq!(serial, par, "{threads} threads");
+        }
     }
 
     #[test]

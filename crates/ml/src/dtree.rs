@@ -16,6 +16,7 @@
 //!    which drives the adaptive boundary-exploitation phase (§5.2).
 
 use aide_util::geom::Rect;
+use aide_util::par::Pool;
 
 /// Hyper-parameters for tree induction.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -88,6 +89,22 @@ impl DecisionTree {
     /// Panics if the buffer is ragged, the label count disagrees, or the
     /// training set is empty.
     pub fn fit(dims: usize, data: &[f64], labels: &[bool], params: &TreeParams) -> Self {
+        Self::fit_with(dims, data, labels, params, &Pool::serial())
+    }
+
+    /// [`DecisionTree::fit`] with the per-dimension split search fanned out
+    /// over `pool`. Each dimension's candidate split depends only on the
+    /// multiset of `(value, label)` pairs, and the cross-dimension winner
+    /// is reduced in dimension order with the serial tie-break (strictly
+    /// greater gain wins), so the fitted tree is identical to the serial
+    /// one for any thread count.
+    pub fn fit_with(
+        dims: usize,
+        data: &[f64],
+        labels: &[bool],
+        params: &TreeParams,
+        pool: &Pool,
+    ) -> Self {
         assert!(dims > 0, "at least one attribute is required");
         assert_eq!(data.len() % dims, 0, "ragged training buffer");
         let n = data.len() / dims;
@@ -95,7 +112,7 @@ impl DecisionTree {
         assert!(n > 0, "cannot fit a tree on zero samples");
         let mut indices: Vec<u32> = (0..n as u32).collect();
         let mut nodes = Vec::new();
-        let root = build(dims, data, labels, &mut indices[..], params, 0, &mut nodes);
+        let root = build(dims, data, labels, &mut indices[..], params, 0, &mut nodes, pool);
         let mut tree = Self { dims, nodes, root };
         if params.ccp_alpha > 0.0 {
             tree.prune(params.ccp_alpha);
@@ -423,6 +440,7 @@ fn gini(positives: usize, samples: usize) -> f64 {
 }
 
 /// Recursively builds the subtree over `indices`, returning its node id.
+#[allow(clippy::too_many_arguments)]
 fn build(
     dims: usize,
     data: &[f64],
@@ -431,6 +449,7 @@ fn build(
     params: &TreeParams,
     depth: usize,
     nodes: &mut Vec<Node>,
+    pool: &Pool,
 ) -> usize {
     let samples = indices.len();
     let positives = indices.iter().filter(|&&i| labels[i as usize]).count();
@@ -452,7 +471,7 @@ fn build(
         return make_leaf(nodes);
     }
     let Some((dim, threshold, gain)) =
-        best_split(dims, data, labels, indices, params.min_samples_leaf)
+        best_split(dims, data, labels, indices, params.min_samples_leaf, pool)
     else {
         return make_leaf(nodes);
     };
@@ -472,8 +491,8 @@ fn build(
     }
     debug_assert!(lo > 0 && lo < indices.len(), "degenerate split survived");
     let (left_slice, right_slice) = indices.split_at_mut(lo);
-    let left = build(dims, data, labels, left_slice, params, depth + 1, nodes);
-    let right = build(dims, data, labels, right_slice, params, depth + 1, nodes);
+    let left = build(dims, data, labels, left_slice, params, depth + 1, nodes, pool);
+    let right = build(dims, data, labels, right_slice, params, depth + 1, nodes, pool);
     nodes.push(Node::Split {
         dim,
         threshold,
@@ -485,26 +504,42 @@ fn build(
     nodes.len() - 1
 }
 
+/// Below this node size the per-dimension fan-out costs more than the
+/// sorts it distributes; small nodes always search serially.
+const PAR_SPLIT_MIN_SAMPLES: usize = 512;
+
 /// Finds the `(dim, threshold, gain)` with maximal Gini decrease, or
 /// `None` if no split separates the points.
+///
+/// Dimensions are searched independently (in parallel when the pool and
+/// node size warrant it) and reduced in dimension order with a strictly
+/// greater gain required to displace the incumbent — the same
+/// first-maximum-wins tie-break as a serial scan, so the chosen split
+/// never depends on the thread count.
 fn best_split(
     dims: usize,
     data: &[f64],
     labels: &[bool],
     indices: &[u32],
     min_samples_leaf: usize,
+    pool: &Pool,
 ) -> Option<(usize, f64, f64)> {
     let n = indices.len();
     let total_pos = indices.iter().filter(|&&i| labels[i as usize]).count();
     let parent = gini(total_pos, n);
-    let mut best: Option<(usize, f64, f64)> = None;
-    let mut order: Vec<u32> = indices.to_vec();
-    for dim in 0..dims {
+    // Per-dimension candidate: sorts `order` by the dimension's values and
+    // sweeps the boundaries. The result depends only on the multiset of
+    // (value, label) pairs: runs of equal values cannot host a boundary,
+    // and at a run boundary the left-side label counts are the same for
+    // any input permutation of `order` — so searching each dimension from
+    // a fresh copy of `indices` matches the serial reuse of one buffer.
+    let dim_best = |dim: usize, order: &mut [u32]| -> Option<(usize, f64, f64)> {
         order.sort_unstable_by(|&a, &b| {
             data[a as usize * dims + dim]
                 .partial_cmp(&data[b as usize * dims + dim])
                 .expect("training coordinates are finite")
         });
+        let mut best: Option<(usize, f64, f64)> = None;
         let mut left_pos = 0usize;
         for i in 0..n - 1 {
             if labels[order[i] as usize] {
@@ -531,8 +566,33 @@ fn best_split(
                 best = Some((dim, v + (next - v) / 2.0, gain));
             }
         }
+        best
+    };
+    let merge = |best: Option<(usize, f64, f64)>, cand: Option<(usize, f64, f64)>| match (best, cand)
+    {
+        (Some((_, _, g)), Some(c)) if c.2 > g => Some(c),
+        (None, c) => c,
+        (b, _) => b,
+    };
+    if pool.is_serial() || dims < 2 || n < PAR_SPLIT_MIN_SAMPLES {
+        let mut best = None;
+        let mut order: Vec<u32> = indices.to_vec();
+        for dim in 0..dims {
+            best = merge(best, dim_best(dim, &mut order));
+        }
+        best
+    } else {
+        pool.par_map_reduce(
+            dims,
+            1,
+            |range| {
+                let mut order: Vec<u32> = indices.to_vec();
+                dim_best(range.start, &mut order)
+            },
+            None,
+            merge,
+        )
     }
-    best
 }
 
 #[cfg(test)]
@@ -731,5 +791,27 @@ mod tests {
     #[should_panic(expected = "zero samples")]
     fn empty_training_set_panics() {
         DecisionTree::fit(1, &[], &[], &TreeParams::default());
+    }
+
+    #[test]
+    fn parallel_fit_is_identical_to_serial() {
+        // Large enough to cross PAR_SPLIT_MIN_SAMPLES at the root, with
+        // duplicate-heavy coordinates to stress the equal-value runs the
+        // permutation-invariance argument hinges on.
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..1_500usize {
+            let x = (i % 40) as f64;
+            let y = ((i * 7) % 25) as f64;
+            data.push(x);
+            data.push(y);
+            labels.push((x <= 20.0 && y > 10.0 && y <= 15.0) || (x > 20.0 && i % 53 == 0));
+        }
+        let serial = DecisionTree::fit(2, &data, &labels, &TreeParams::default());
+        for threads in [2, 3, 8] {
+            let par =
+                DecisionTree::fit_with(2, &data, &labels, &TreeParams::default(), &Pool::new(threads));
+            assert_eq!(serial, par, "{threads} threads");
+        }
     }
 }

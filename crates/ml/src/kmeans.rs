@@ -7,6 +7,7 @@
 //! (likely) relevant area instead of one query per misclassified object.
 
 use aide_util::geom::Rect;
+use aide_util::par::Pool;
 use aide_util::rng::Rng;
 
 /// Result of a k-means run over row-major points.
@@ -22,6 +23,11 @@ impl KMeans {
     /// Maximum Lloyd iterations; convergence is typically much faster.
     const MAX_ITERS: usize = 64;
 
+    /// Points per parallel chunk of the assignment step. Fixed so the
+    /// chunk layout — and the chunk-ordered inertia sum — is the same on
+    /// any machine and for any thread count.
+    const ASSIGN_CHUNK: usize = 2_048;
+
     /// Clusters `data` (row-major, `dims` per point) into at most `k`
     /// clusters. When `k >= n` every point becomes its own centroid.
     ///
@@ -29,6 +35,21 @@ impl KMeans {
     ///
     /// Panics if `k == 0`, the buffer is ragged, or there are no points.
     pub fn fit<R: Rng + ?Sized>(dims: usize, data: &[f64], k: usize, rng: &mut R) -> Self {
+        Self::fit_with(dims, data, k, rng, &Pool::serial())
+    }
+
+    /// [`KMeans::fit`] with the Lloyd assignment step (the O(n·k·d) hot
+    /// loop) fanned out over `pool`. Seeding and the update step stay
+    /// serial — they consume the RNG and are O(n·d). Assignments are exact
+    /// per point and the inertia is summed in fixed chunk order, so the
+    /// result is bit-identical for any thread count.
+    pub fn fit_with<R: Rng + ?Sized>(
+        dims: usize,
+        data: &[f64],
+        k: usize,
+        rng: &mut R,
+        pool: &Pool,
+    ) -> Self {
         assert!(k > 0, "k must be positive");
         assert!(dims > 0, "at least one dimension is required");
         assert_eq!(data.len() % dims, 0, "ragged point buffer");
@@ -77,26 +98,43 @@ impl KMeans {
         let mut assignments = vec![0u32; n];
         let mut inertia = f64::INFINITY;
         for _ in 0..Self::MAX_ITERS {
-            // Assignment step.
-            let mut new_inertia = 0.0;
-            let mut changed = false;
-            for (i, slot) in assignments.iter_mut().enumerate() {
-                let p = point(i);
-                let mut best_c = 0u32;
-                let mut best_d = f64::INFINITY;
-                for c in 0..k {
-                    let d = sq_dist(p, &centroids[c * dims..(c + 1) * dims]);
-                    if d < best_d {
-                        best_d = d;
-                        best_c = c as u32;
+            // Assignment step: per-chunk argmin plus a partial inertia,
+            // concatenated/summed in chunk order.
+            let (new_assignments, new_inertia, mut changed) = pool.par_map_reduce(
+                n,
+                Self::ASSIGN_CHUNK,
+                |range| {
+                    let mut assigns = Vec::with_capacity(range.len());
+                    let mut part_inertia = 0.0f64;
+                    let mut part_changed = false;
+                    for i in range {
+                        let p = point(i);
+                        let mut best_c = 0u32;
+                        let mut best_d = f64::INFINITY;
+                        for c in 0..k {
+                            let d = sq_dist(p, &centroids[c * dims..(c + 1) * dims]);
+                            if d < best_d {
+                                best_d = d;
+                                best_c = c as u32;
+                            }
+                        }
+                        if assignments[i] != best_c {
+                            part_changed = true;
+                        }
+                        assigns.push(best_c);
+                        part_inertia += best_d;
                     }
-                }
-                if *slot != best_c {
-                    *slot = best_c;
-                    changed = true;
-                }
-                new_inertia += best_d;
-            }
+                    (assigns, part_inertia, part_changed)
+                },
+                (Vec::with_capacity(n), 0.0f64, false),
+                |mut acc, part| {
+                    acc.0.extend_from_slice(&part.0);
+                    acc.1 += part.1;
+                    acc.2 |= part.2;
+                    acc
+                },
+            );
+            assignments = new_assignments;
             inertia = new_inertia;
             // Update step.
             let mut sums = vec![0.0; k * dims];
@@ -357,5 +395,21 @@ mod tests {
     fn zero_points_panics() {
         let mut rng = Xoshiro256pp::seed_from_u64(0);
         KMeans::fit(2, &[], 1, &mut rng);
+    }
+
+    #[test]
+    fn parallel_fit_is_identical_to_serial() {
+        // More points than ASSIGN_CHUNK so several chunks are in flight;
+        // seeding consumes the same RNG stream either way.
+        let mut rng = Xoshiro256pp::seed_from_u64(9);
+        let data: Vec<f64> = (0..5_000 * 2).map(|_| rng.uniform(0.0, 100.0)).collect();
+        let mut serial_rng = Xoshiro256pp::seed_from_u64(10);
+        let serial = KMeans::fit(2, &data, 16, &mut serial_rng);
+        for threads in [2, 4] {
+            let mut par_rng = Xoshiro256pp::seed_from_u64(10);
+            let par = KMeans::fit_with(2, &data, 16, &mut par_rng, &Pool::new(threads));
+            assert_eq!(serial, par, "{threads} threads");
+            assert_eq!(par_rng.next_u64(), serial_rng.clone().next_u64());
+        }
     }
 }

@@ -39,6 +39,16 @@ impl ConfusionMatrix {
         }
     }
 
+    /// Adds another matrix's counts. Counts are integers, so merging
+    /// per-chunk matrices is exact under any work decomposition — the
+    /// property the parallel evaluator relies on.
+    pub fn merge(&mut self, other: &ConfusionMatrix) {
+        self.tp += other.tp;
+        self.fp += other.fp;
+        self.fn_ += other.fn_;
+        self.tn += other.tn;
+    }
+
     /// Total observations.
     pub fn total(&self) -> u64 {
         self.tp + self.fp + self.fn_ + self.tn

@@ -14,7 +14,10 @@
 //! * [`dist`] — normal, truncated-normal and Zipf distributions used by the
 //!   synthetic data generators;
 //! * [`stats`] — online mean/variance, quantiles and histogram helpers used
-//!   by the evaluation harness.
+//!   by the evaluation harness;
+//! * [`par`] — a dependency-free scoped worker pool whose chunked
+//!   map/reduce is bit-identical to a serial run for any thread count, so
+//!   parallelism never breaks replayability.
 //!
 //! ```
 //! use aide_util::rng::{Rng, Xoshiro256pp};
@@ -27,10 +30,12 @@
 
 pub mod dist;
 pub mod geom;
+pub mod par;
 pub mod rng;
 pub mod stats;
 
 pub use dist::{Normal, TruncatedNormal, Zipf};
 pub use geom::Rect;
+pub use par::Pool;
 pub use rng::{Rng, SeedStream, SplitMix64, Xoshiro256pp};
 pub use stats::{quantile, Histogram, OnlineStats, Summary};

@@ -1,0 +1,280 @@
+//! Deterministic scoped worker pool.
+//!
+//! Every hot path of the reproduction (full-view model evaluation, the
+//! per-dimension CART split search, the k-means assignment step, index
+//! construction) is embarrassingly parallel, but the project's replay
+//! guarantee forbids the usual "merge results in completion order"
+//! shortcut: seeds and `BENCH_baseline.json` must stay reproducible on any
+//! machine. [`Pool`] therefore fixes the *work decomposition* — chunk
+//! boundaries depend only on the input length and the caller's chunk size,
+//! never on the thread count — and reduces per-chunk results in chunk-index
+//! order. The outcome of [`Pool::par_map_reduce`] is bit-identical whether
+//! it runs on 1 thread or 64.
+//!
+//! The pool is dependency-free (`std::thread::scope` + two atomics) because
+//! the build is hermetic: the registry is offline and no external crates
+//! can be fetched.
+//!
+//! Thread-count resolution (see [`Pool::from_env`]): the `AIDE_THREADS`
+//! environment variable overrides everything, then an explicit configured
+//! count, then [`std::thread::available_parallelism`]. A resolved count of
+//! 1 is the escape hatch: every combinator runs its chunks inline on the
+//! calling thread, in order, with no thread ever spawned.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A scoped worker pool with a fixed thread count.
+///
+/// `Pool` holds no threads itself — each combinator call opens a
+/// [`std::thread::scope`], so borrowed data can flow into the closures
+/// without `'static` bounds and nothing outlives the call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pool {
+    threads: usize,
+}
+
+impl Default for Pool {
+    /// The automatic pool: `AIDE_THREADS` override or all available cores.
+    fn default() -> Self {
+        Self::from_env(0)
+    }
+}
+
+impl Pool {
+    /// A pool with an explicit thread count (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The serial escape hatch: all work runs inline on the caller.
+    pub fn serial() -> Self {
+        Self::new(1)
+    }
+
+    /// Resolves the thread count: the `AIDE_THREADS` environment variable
+    /// wins, then `configured` (a session-config value), and `0` in both
+    /// means "auto" — one thread per available core.
+    pub fn from_env(configured: usize) -> Self {
+        let env = std::env::var("AIDE_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok());
+        Self::new(resolve_threads(env, configured))
+    }
+
+    /// The worker count this pool was resolved to.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Whether every combinator runs inline on the calling thread.
+    pub fn is_serial(&self) -> bool {
+        self.threads == 1
+    }
+
+    /// Maps `0..len` in chunks of `chunk_size` and folds the per-chunk
+    /// results in chunk-index order: `reduce(..reduce(init, map(c0)).., map(cN))`.
+    ///
+    /// Chunk boundaries are a pure function of `(len, chunk_size)`, and the
+    /// fold order is fixed, so the result is **bit-identical for any thread
+    /// count** — including non-associative reductions like floating-point
+    /// sums. Workers claim chunks from a shared cursor; the reduction
+    /// happens on the calling thread after all chunks complete.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_size == 0`, or propagates a panic from `map`.
+    pub fn par_map_reduce<T, A, M, R>(
+        &self,
+        len: usize,
+        chunk_size: usize,
+        map: M,
+        init: A,
+        mut reduce: R,
+    ) -> A
+    where
+        T: Send,
+        M: Fn(Range<usize>) -> T + Sync,
+        R: FnMut(A, T) -> A,
+    {
+        assert!(chunk_size > 0, "chunk_size must be positive");
+        let chunks = len.div_ceil(chunk_size);
+        let range_of = |c: usize| c * chunk_size..((c + 1) * chunk_size).min(len);
+        let mut acc = init;
+        if self.threads == 1 || chunks <= 1 {
+            for c in 0..chunks {
+                acc = reduce(acc, map(range_of(c)));
+            }
+            return acc;
+        }
+        let slots: Vec<Mutex<Option<T>>> = (0..chunks).map(|_| Mutex::new(None)).collect();
+        let cursor = AtomicUsize::new(0);
+        let work = || loop {
+            let c = cursor.fetch_add(1, Ordering::Relaxed);
+            if c >= chunks {
+                break;
+            }
+            let out = map(range_of(c));
+            *slots[c].lock().expect("no poisoned chunk slots") = Some(out);
+        };
+        std::thread::scope(|s| {
+            // The calling thread is worker 0; spawn the rest.
+            for _ in 1..self.threads.min(chunks) {
+                s.spawn(work);
+            }
+            work();
+        });
+        for slot in slots {
+            let out = slot
+                .into_inner()
+                .expect("no poisoned chunk slots")
+                .expect("every chunk was claimed and computed");
+            acc = reduce(acc, out);
+        }
+        acc
+    }
+
+    /// Maps `0..len` in chunks and concatenates the per-chunk vectors in
+    /// chunk-index order — a parallel map whose output order matches the
+    /// serial loop exactly.
+    pub fn par_map_collect<T, M>(&self, len: usize, chunk_size: usize, map: M) -> Vec<T>
+    where
+        T: Send,
+        M: Fn(Range<usize>) -> Vec<T> + Sync,
+    {
+        self.par_map_reduce(len, chunk_size, map, Vec::with_capacity(len), |mut acc, mut part| {
+            acc.append(&mut part);
+            acc
+        })
+    }
+
+    /// Runs two closures, possibly concurrently, and returns both results
+    /// (fork–join for divide-and-conquer recursion). On a serial pool `a`
+    /// runs before `b` on the calling thread.
+    pub fn join<A, B, FA, FB>(&self, a: FA, b: FB) -> (A, B)
+    where
+        A: Send,
+        B: Send,
+        FA: FnOnce() -> A + Send,
+        FB: FnOnce() -> B + Send,
+    {
+        if self.threads == 1 {
+            return (a(), b());
+        }
+        std::thread::scope(|s| {
+            let hb = s.spawn(b);
+            let ra = a();
+            let rb = hb
+                .join()
+                .unwrap_or_else(|panic| std::panic::resume_unwind(panic));
+            (ra, rb)
+        })
+    }
+
+    /// Depth budget for fork–join recursion: splitting `depth` times yields
+    /// at least `threads` concurrent tasks (`2^depth >= threads`).
+    pub fn fork_depth(&self) -> usize {
+        usize::BITS as usize - (self.threads.max(1) - 1).leading_zeros() as usize
+    }
+}
+
+/// Pure thread-count resolution, split out for testability: `env` (parsed
+/// `AIDE_THREADS`) beats `configured`; 0 means "auto" at both levels.
+fn resolve_threads(env: Option<usize>, configured: usize) -> usize {
+    let picked = match env {
+        Some(t) if t >= 1 => t,
+        _ => configured,
+    };
+    if picked >= 1 {
+        picked
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunked_sum_matches_serial_for_any_thread_count() {
+        let data: Vec<f64> = (0..10_000).map(|i| (i as f64).sin()).collect();
+        let sum = |pool: &Pool, chunk: usize| {
+            pool.par_map_reduce(
+                data.len(),
+                chunk,
+                |r| data[r].iter().sum::<f64>(),
+                0.0f64,
+                |a, b| a + b,
+            )
+        };
+        for chunk in [1, 7, 256, 1024, 20_000] {
+            let serial = sum(&Pool::serial(), chunk);
+            for threads in [2, 3, 8] {
+                let par = sum(&Pool::new(threads), chunk);
+                // Bit-identical, not approximately equal.
+                assert_eq!(serial.to_bits(), par.to_bits(), "chunk {chunk}, {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn collect_preserves_element_order() {
+        for threads in [1, 4] {
+            let pool = Pool::new(threads);
+            let out = pool.par_map_collect(1_000, 13, |r| r.map(|i| i * i).collect::<Vec<_>>());
+            let want: Vec<usize> = (0..1_000).map(|i| i * i).collect();
+            assert_eq!(out, want, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn empty_input_returns_init() {
+        let pool = Pool::new(4);
+        let out = pool.par_map_reduce(0, 8, |_| unreachable!("no chunks"), 41, |a, b: i32| a + b);
+        assert_eq!(out, 41);
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        for threads in [1, 2] {
+            let pool = Pool::new(threads);
+            let (a, b) = pool.join(|| 2 + 2, || "b");
+            assert_eq!((a, b), (4, "b"));
+        }
+    }
+
+    #[test]
+    fn fork_depth_covers_thread_count() {
+        for (threads, depth) in [(1, 0), (2, 1), (3, 2), (4, 2), (5, 3), (8, 3), (9, 4)] {
+            let pool = Pool::new(threads);
+            assert_eq!(pool.fork_depth(), depth, "{threads} threads");
+            assert!(1usize << pool.fork_depth() >= threads);
+        }
+    }
+
+    #[test]
+    fn thread_count_resolution_order() {
+        // Env beats config beats auto.
+        assert_eq!(resolve_threads(Some(3), 8), 3);
+        assert_eq!(resolve_threads(None, 8), 8);
+        assert_eq!(resolve_threads(Some(0), 8), 8, "env 0 falls through to config");
+        assert!(resolve_threads(None, 0) >= 1, "auto resolves to at least one");
+        assert!(Pool::new(0).threads() >= 1);
+        assert!(Pool::serial().is_serial());
+    }
+
+    #[test]
+    fn workers_never_exceed_chunks() {
+        // More threads than chunks: the scope spawns only chunk-many
+        // workers; results must still land in order.
+        let pool = Pool::new(16);
+        let out = pool.par_map_collect(3, 1, |r| vec![r.start]);
+        assert_eq!(out, vec![0, 1, 2]);
+    }
+}

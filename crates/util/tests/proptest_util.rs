@@ -4,6 +4,7 @@
 use aide_testkit::prop::gen;
 use aide_testkit::{forall, prop_assert, prop_assert_eq};
 use aide_util::geom::Rect;
+use aide_util::par::Pool;
 use aide_util::rng::{Rng, Xoshiro256pp};
 use aide_util::stats::OnlineStats;
 
@@ -159,5 +160,35 @@ forall! {
         prop_assert!((left.variance() - whole.variance()).abs() < 1e-6 * var_scale);
         prop_assert_eq!(left.min(), whole.min());
         prop_assert_eq!(left.max(), whole.max());
+    }
+
+    /// The pool's replay guarantee: a chunked floating-point reduction is
+    /// bit-identical to the serial fold for any (len, chunk, threads)
+    /// combination, and the parallel collect preserves element order.
+    fn par_map_reduce_is_bit_identical_to_serial(
+        seed in gen::any_u64(),
+        len in gen::usize_in(0..2_000),
+        chunk in gen::usize_in(1..257),
+        threads in gen::usize_in(1..9),
+    ) {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let data: Vec<f64> = (0..len).map(|_| rng.uniform(-1e3, 1e3)).collect();
+        let sum = |pool: &Pool| {
+            pool.par_map_reduce(
+                data.len(),
+                chunk,
+                |r| data[r].iter().sum::<f64>(),
+                0.0f64,
+                |a, b| a + b,
+            )
+        };
+        let serial = sum(&Pool::serial());
+        let par = sum(&Pool::new(threads));
+        prop_assert_eq!(serial.to_bits(), par.to_bits());
+
+        let collected = Pool::new(threads)
+            .par_map_collect(len, chunk, |r| r.map(|i| data[i].to_bits()).collect());
+        let want: Vec<u64> = data.iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(collected, want);
     }
 }
