@@ -70,6 +70,7 @@ fn main() {
         IndexKind::Scan,
     ] {
         let mut engine = ExtractionEngine::from_arc(Arc::clone(&view), kind);
+        engine.set_cache_enabled(false); // measure the access path, not the cache
         let name = format!("{kind:?}").to_lowercase();
         let rect = rect.clone();
         group.bench(&name, move || engine.count_in(black_box(&rect)));
@@ -97,6 +98,72 @@ fn main() {
         });
     }
     drop(group);
+
+    // --- Batched extraction and the region-result cache ---------------------
+    // The rect workload mirrors the misclassified phase: small sampling
+    // areas around false-negative-like points. `serial_loop` vs
+    // `query_batch` isolates the batching win (cache off on both);
+    // `cold_cache` vs `warm_cache` isolates the cache win (a fresh engine
+    // per iteration vs a primed one answering everything from cache).
+    let mut rect_rng = Xoshiro256pp::seed_from_u64(9);
+    let fn_rects: Vec<Rect> = (0..48)
+        .map(|_| {
+            let x = rect_rng.uniform(0.0, 100.0);
+            let y = rect_rng.uniform(0.0, 100.0);
+            Rect::new(
+                vec![(x - 1.5).max(0.0), (y - 1.5).max(0.0)],
+                vec![(x + 1.5).min(100.0), (y + 1.5).min(100.0)],
+            )
+        })
+        .collect();
+    let mut group = h.group("substrate/batch");
+    for threads in [1usize, 4] {
+        let mut engine = ExtractionEngine::from_arc(Arc::clone(&view), IndexKind::Grid);
+        engine.set_pool(Pool::new(threads));
+        engine.set_cache_enabled(false);
+        let rects = fn_rects.clone();
+        group.bench(&format!("serial_loop_48rects/t{threads}"), move || {
+            let mut returned = 0usize;
+            for rect in &rects {
+                returned += engine.query_in(black_box(rect)).len();
+            }
+            returned
+        });
+
+        let mut engine = ExtractionEngine::from_arc(Arc::clone(&view), IndexKind::Grid);
+        engine.set_pool(Pool::new(threads));
+        engine.set_cache_enabled(false);
+        let rects = fn_rects.clone();
+        group.bench(&format!("query_batch_48rects/t{threads}"), move || {
+            engine.query_batch(black_box(&rects))
+        });
+    }
+
+    let cold_view = Arc::clone(&view);
+    let cold_rects = fn_rects.clone();
+    group.bench_batched(
+        "cold_cache_48rects",
+        move || ExtractionEngine::from_arc(Arc::clone(&cold_view), IndexKind::Grid),
+        move |mut engine| engine.query_batch(black_box(&cold_rects)),
+    );
+
+    let mut warm_engine = ExtractionEngine::from_arc(Arc::clone(&view), IndexKind::Grid);
+    warm_engine.query_batch(&fn_rects); // prime: every later batch hits
+    let warm_rects = fn_rects.clone();
+    group.bench("warm_cache_48rects", move || {
+        warm_engine.query_batch(black_box(&warm_rects))
+    });
+    drop(group);
+
+    // Observability guard, outside the timers: a warm batch over this
+    // workload must actually hit the cache.
+    let mut check = ExtractionEngine::from_arc(Arc::clone(&view), IndexKind::Grid);
+    check.query_batch(&fn_rects);
+    check.query_batch(&fn_rects);
+    assert!(
+        check.stats().cache_hits >= 1,
+        "warm query_batch produced no cache hits"
+    );
 
     // --- SQL evaluation over the column store --------------------------------
     let mut group = h.group("substrate/sql_eval");

@@ -100,13 +100,15 @@ pub fn exploit_boundaries(
     let mut remaining = budget.min(config.boundary_alpha_max);
     let before = engine.stats().queries;
 
-    'regions: for region in regions {
+    // Every face's slab and allocation is pure in the phase inputs (the
+    // non-overlap check only consults the *previous* round's slabs), so
+    // enumerate all candidate faces first and batch the extraction
+    // queries instead of looping over `sample_in_excluding`.
+    let mut candidates: Vec<(Rect, usize)> = Vec::new();
+    for region in regions {
         let prev = match_previous(region, previous_regions);
         for d in 0..dims {
             for (is_high, b) in [(false, region.lo(d)), (true, region.hi(d))] {
-                if remaining == 0 {
-                    break 'regions;
-                }
                 // Skip faces flush against the domain edge: there is
                 // nothing beyond them to refine.
                 if (!is_high && b <= bounds.lo(d)) || (is_high && b >= bounds.hi(d)) {
@@ -117,8 +119,8 @@ pub fn exploit_boundaries(
                     let pb = if is_high { p.hi(d) } else { p.lo(d) };
                     (b - pb).abs()
                 });
-                let want = face_allocation(config, movement, faces_total).min(remaining);
-                if want == 0 {
+                let alloc = face_allocation(config, movement, faces_total);
+                if alloc == 0 {
                     continue;
                 }
                 // The sampling slab: dimension d pinched to [b-x, b+x];
@@ -140,12 +142,37 @@ pub fn exploit_boundaries(
                 {
                     continue;
                 }
-                let got = engine.sample_in_excluding(&slab, want, rng, excluded);
-                remaining -= got.len();
-                outcome.samples.extend(got);
-                outcome.slabs.push(slab);
+                candidates.push((slab, alloc));
             }
         }
+    }
+
+    // Budget-bounded waves over the candidate faces (same scheme as the
+    // misclassified phase): each wave is the optimistic maximum-
+    // consumption prefix, so every wave member is a face the serial loop
+    // would also have queried — identical queries and slab list, zero
+    // over-query — and selection runs serially on the shared RNG.
+    let mut next = 0;
+    while remaining > 0 && next < candidates.len() {
+        let mut opt = remaining;
+        let mut end = next;
+        while end < candidates.len() && opt > 0 {
+            opt -= candidates[end].1.min(opt);
+            end += 1;
+        }
+        let rects: Vec<Rect> = candidates[next..end]
+            .iter()
+            .map(|(slab, _)| slab.clone())
+            .collect();
+        let outputs = engine.query_batch_outputs(&rects);
+        for ((slab, alloc), out) in candidates[next..end].iter().zip(&outputs) {
+            let want = (*alloc).min(remaining);
+            let got = engine.select_excluding(out, want, rng, excluded);
+            remaining -= got.len();
+            outcome.samples.extend(got);
+            outcome.slabs.push(slab.clone());
+        }
+        next = end;
     }
     outcome.queries = engine.stats().queries - before;
     outcome

@@ -214,26 +214,45 @@ impl GridDiscovery {
         }
     }
 
-    /// The γ-neighbourhood of the cell center, density-widened for sparse
-    /// cells (§3: "sparse cells should use a higher γ value than dense
-    /// ones").
-    fn sampling_rect(&self, cell_rect: &Rect, engine: &mut ExtractionEngine) -> Rect {
-        let mut fraction = self.gamma_fraction;
+    /// The γ-neighbourhoods of a wave of cells, density-widened for
+    /// sparse cells (§3: "sparse cells should use a higher γ value than
+    /// dense ones"). The per-cell density probes go out as **one**
+    /// [`ExtractionEngine::count_batch`] call.
+    fn sampling_rects(&self, wave: &[(Cell, Rect)], engine: &mut ExtractionEngine) -> Vec<Rect> {
+        // Which cells take a density probe is pure in the cell geometry.
+        let full_volume = Rect::full_domain(self.dims).volume();
+        let mut probed: Vec<usize> = Vec::new();
+        let mut probe_rects: Vec<Rect> = Vec::new();
+        let mut expected: Vec<f64> = vec![0.0; wave.len()];
         if self.density_aware && self.total_points > 0 {
-            let expected = cell_rect.volume() / Rect::full_domain(self.dims).volume();
-            if expected > 0.0 {
-                let ratio = (engine.density(cell_rect) / expected).min(1.0);
-                // Dense cell: γ stays at the base; empty-ish cell: γ grows
-                // toward the δ/2 ceiling.
-                fraction = (self.gamma_fraction + (0.499 - self.gamma_fraction) * (1.0 - ratio))
-                    .min(0.499);
+            for (i, (_, cell_rect)) in wave.iter().enumerate() {
+                expected[i] = cell_rect.volume() / full_volume;
+                if expected[i] > 0.0 {
+                    probed.push(i);
+                    probe_rects.push(cell_rect.clone());
+                }
             }
         }
-        let center = cell_rect.center();
-        let widths: Vec<f64> = (0..self.dims)
-            .map(|d| cell_rect.width(d) * fraction * 2.0)
-            .collect();
-        Rect::from_center(&center, &widths, cell_rect)
+        let counts = engine.count_batch(&probe_rects);
+        let mut fractions = vec![self.gamma_fraction; wave.len()];
+        for (&i, &count) in probed.iter().zip(&counts) {
+            let density = count as f64 / self.total_points as f64;
+            let ratio = (density / expected[i]).min(1.0);
+            // Dense cell: γ stays at the base; empty-ish cell: γ grows
+            // toward the δ/2 ceiling.
+            fractions[i] = (self.gamma_fraction + (0.499 - self.gamma_fraction) * (1.0 - ratio))
+                .min(0.499);
+        }
+        wave.iter()
+            .zip(&fractions)
+            .map(|((_, cell_rect), &fraction)| {
+                let center = cell_rect.center();
+                let widths: Vec<f64> = (0..self.dims)
+                    .map(|d| cell_rect.width(d) * fraction * 2.0)
+                    .collect();
+                Rect::from_center(&center, &widths, cell_rect)
+            })
+            .collect()
     }
 
     fn propose(
@@ -244,33 +263,62 @@ impl GridDiscovery {
         rng: &mut Xoshiro256pp,
     ) -> Vec<Proposal> {
         let mut out = Vec::with_capacity(budget);
-        while out.len() < budget {
-            let Some(cell) = self.queue.pop_front() else {
-                break;
-            };
-            // Cells straddling the range-hint boundary are clipped so no
-            // sample falls outside the user's stated interest range.
-            let Some(cell_rect) = self.cell_rect(&cell).intersection(&self.range) else {
-                continue;
-            };
-            let gamma_rect = self.sampling_rect(&cell_rect, engine);
-            let mut samples = engine.sample_in_excluding(&gamma_rect, 1, rng, excluded);
-            if samples.is_empty() {
-                // Nothing near the center: fall back to the whole cell.
-                samples = engine.sample_in_excluding(&cell_rect, 1, rng, excluded);
+        // Wave-batched form of the old serial per-cell loop. Every cell
+        // yields at most one sample, so the next `budget - out.len()`
+        // sampleable cells are exactly the cells the serial loop would
+        // have processed before its budget check could fire; all their
+        // (RNG-free) queries go out in batch passes, while selection runs
+        // serially in cell order on the shared RNG — proposals, labels
+        // and RNG state are bit-identical to the serial path.
+        while out.len() < budget && !self.queue.is_empty() {
+            let want = budget - out.len();
+            let mut wave: Vec<(Cell, Rect)> = Vec::with_capacity(want);
+            while wave.len() < want {
+                let Some(cell) = self.queue.pop_front() else {
+                    break;
+                };
+                // Cells straddling the range-hint boundary are clipped so
+                // no sample falls outside the user's stated interest
+                // range.
+                let Some(cell_rect) = self.cell_rect(&cell).intersection(&self.range) else {
+                    continue;
+                };
+                wave.push((cell, cell_rect));
             }
-            let Some(sample) = samples.into_iter().next() else {
-                // Empty cell: no data to discover, and nothing to zoom
-                // into either.
-                continue;
-            };
-            let token = self.next_token;
-            self.next_token += 1;
-            self.pending.insert(token, cell);
-            out.push(Proposal {
-                sample,
-                token: Some(token),
-            });
+            let gamma_rects = self.sampling_rects(&wave, engine);
+            let gamma_out = engine.query_batch_outputs(&gamma_rects);
+            // Whether a cell falls back to its whole rectangle is RNG-free:
+            // the γ-selection comes back empty iff the γ-area holds no
+            // unexcluded candidate.
+            let fallback: Vec<usize> = (0..wave.len())
+                .filter(|&i| !engine.has_candidates(&gamma_out[i], excluded))
+                .collect();
+            let fallback_rects: Vec<Rect> =
+                fallback.iter().map(|&i| wave[i].1.clone()).collect();
+            let fallback_out = engine.query_batch_outputs(&fallback_rects);
+            let fallback_for: HashMap<usize, usize> =
+                fallback.iter().enumerate().map(|(k, &i)| (i, k)).collect();
+            for (i, (cell, _)) in wave.into_iter().enumerate() {
+                let mut samples = engine.select_excluding(&gamma_out[i], 1, rng, excluded);
+                if samples.is_empty() {
+                    // Nothing near the center: fall back to the whole cell.
+                    if let Some(&k) = fallback_for.get(&i) {
+                        samples = engine.select_excluding(&fallback_out[k], 1, rng, excluded);
+                    }
+                }
+                let Some(sample) = samples.into_iter().next() else {
+                    // Empty cell: no data to discover, and nothing to zoom
+                    // into either.
+                    continue;
+                };
+                let token = self.next_token;
+                self.next_token += 1;
+                self.pending.insert(token, cell);
+                out.push(Proposal {
+                    sample,
+                    token: Some(token),
+                });
+            }
         }
         // Hierarchy exhausted: spend any remaining budget on random
         // samples over the (hinted) range so user effort is never idle.
@@ -528,31 +576,64 @@ impl ClusterDiscovery {
         rng: &mut Xoshiro256pp,
     ) -> Vec<Proposal> {
         let mut out = Vec::with_capacity(budget);
-        while out.len() < budget {
-            let Some((level, cluster)) = self.queue.pop_front() else {
-                break;
-            };
-            let gamma_rect = self.sampling_rect(level, cluster);
-            let mut samples = engine.sample_in_excluding(&gamma_rect, 1, rng, excluded);
-            if samples.is_empty() {
-                // Widen to the cluster's bounding box.
+        // Wave-batched like the grid strategy: each cluster yields at most
+        // one sample, so the next `budget - out.len()` queue entries are
+        // the ones the serial loop would have processed. Queries (γ-rects
+        // and bounding-box fallbacks, both RNG-free) go out in batch
+        // passes; selection stays serial in queue order on the shared RNG.
+        while out.len() < budget && !self.queue.is_empty() {
+            let want = budget - out.len();
+            let mut wave: Vec<(usize, usize)> = Vec::with_capacity(want);
+            while wave.len() < want {
+                let Some(entry) = self.queue.pop_front() else {
+                    break;
+                };
+                wave.push(entry);
+            }
+            let gamma_rects: Vec<Rect> = wave
+                .iter()
+                .map(|&(level, cluster)| self.sampling_rect(level, cluster))
+                .collect();
+            let gamma_out = engine.query_batch_outputs(&gamma_rects);
+            // Which clusters widen to their bounding box is RNG-free.
+            let mut fallback: Vec<usize> = Vec::new();
+            let mut fallback_rects: Vec<Rect> = Vec::new();
+            for (i, &(level, cluster)) in wave.iter().enumerate() {
+                if engine.has_candidates(&gamma_out[i], excluded) {
+                    continue;
+                }
                 let lvl = &self.levels[level];
-                if let Some(bbox) = lvl.km.bounding_rect(&lvl.fit_data, cluster) {
-                    if let Some(clipped) = bbox.intersection(&self.range) {
-                        samples = engine.sample_in_excluding(&clipped, 1, rng, excluded);
+                let Some(bbox) = lvl.km.bounding_rect(&lvl.fit_data, cluster) else {
+                    continue;
+                };
+                let Some(clipped) = bbox.intersection(&self.range) else {
+                    continue;
+                };
+                fallback.push(i);
+                fallback_rects.push(clipped);
+            }
+            let fallback_out = engine.query_batch_outputs(&fallback_rects);
+            let fallback_for: HashMap<usize, usize> =
+                fallback.iter().enumerate().map(|(k, &i)| (i, k)).collect();
+            for (i, (level, cluster)) in wave.into_iter().enumerate() {
+                let mut samples = engine.select_excluding(&gamma_out[i], 1, rng, excluded);
+                if samples.is_empty() {
+                    // Widen to the cluster's bounding box.
+                    if let Some(&k) = fallback_for.get(&i) {
+                        samples = engine.select_excluding(&fallback_out[k], 1, rng, excluded);
                     }
                 }
+                let Some(sample) = samples.into_iter().next() else {
+                    continue;
+                };
+                let token = self.next_token;
+                self.next_token += 1;
+                self.pending.insert(token, (level, cluster));
+                out.push(Proposal {
+                    sample,
+                    token: Some(token),
+                });
             }
-            let Some(sample) = samples.into_iter().next() else {
-                continue;
-            };
-            let token = self.next_token;
-            self.next_token += 1;
-            self.pending.insert(token, (level, cluster));
-            out.push(Proposal {
-                sample,
-                token: Some(token),
-            });
         }
         if out.len() < budget && self.queue.is_empty() {
             let want = budget - out.len();

@@ -96,7 +96,10 @@ pub fn exploit_misclassified(
 
     let use_clusters =
         config.clustered_misclassified && k_discovery > 0 && k_discovery < false_negatives.len();
-    if use_clusters {
+    // Each sampling area is pure in the phase inputs, so collect them all
+    // first — (area, per-area sample cap, covered FNs) — and batch the
+    // extraction queries instead of looping over `sample_in_excluding`.
+    let areas: Vec<(Rect, usize, Vec<usize>)> = if use_clusters {
         outcome.clustered = true;
         // Cluster the false negatives; one sampling area per cluster.
         let mut fn_points = Vec::with_capacity(false_negatives.len() * dims);
@@ -104,42 +107,61 @@ pub fn exploit_misclassified(
             fn_points.extend_from_slice(labeled.point(i));
         }
         let km = KMeans::fit(dims, &fn_points, k_discovery, rng);
-        let mut remaining = budget;
-        for c in 0..km.k() {
-            if remaining == 0 {
-                break;
-            }
-            let Some(bbox) = km.bounding_rect(&fn_points, c) else {
-                continue;
-            };
-            // Sampling area: the cluster's bounding box expanded by y in
-            // each dimension (Figure 5: "within a distance y from the
-            // farthest cluster member").
-            let area = bbox.expanded(y, &bounds);
-            let want = (f * km.cluster_size(c)).min(remaining);
-            let got = engine.sample_in_excluding(&area, want, rng, excluded);
-            remaining -= got.len();
-            outcome.samples.extend(got);
-            // One query covered every member of this cluster.
-            outcome
-                .attempted
-                .extend(km.members(c).into_iter().map(|m| false_negatives[m]));
-        }
+        (0..km.k())
+            .filter_map(|c| {
+                // Sampling area: the cluster's bounding box expanded by y
+                // in each dimension (Figure 5: "within a distance y from
+                // the farthest cluster member").
+                km.bounding_rect(&fn_points, c).map(|bbox| {
+                    (
+                        bbox.expanded(y, &bounds),
+                        f * km.cluster_size(c),
+                        // One query covers every member of this cluster.
+                        km.members(c)
+                            .into_iter()
+                            .map(|m| false_negatives[m])
+                            .collect(),
+                    )
+                })
+            })
+            .collect()
     } else {
         // One sampling area per false negative (Figure 4).
-        let mut remaining = budget;
-        for &i in false_negatives {
-            if remaining == 0 {
-                break;
-            }
-            let p = labeled.point(i);
-            let area = Rect::from_center(p, &vec![2.0 * y; dims], &bounds);
-            let want = f.min(remaining);
-            let got = engine.sample_in_excluding(&area, want, rng, excluded);
+        false_negatives
+            .iter()
+            .map(|&i| {
+                let p = labeled.point(i);
+                (Rect::from_center(p, &vec![2.0 * y; dims], &bounds), f, vec![i])
+            })
+            .collect()
+    };
+
+    // Budget-bounded waves: each wave is the *optimistic* maximum-
+    // consumption prefix of the remaining areas — assume every area
+    // yields its full cap. Actual yield never exceeds the cap, so the
+    // serial loop always retains at least as much budget as the optimist
+    // and would have queried every wave member too: the waves issue
+    // exactly the queries the serial loop issued, in the same order, with
+    // zero over-query. Selection runs serially on the shared RNG.
+    let mut remaining = budget;
+    let mut next = 0;
+    while remaining > 0 && next < areas.len() {
+        let mut opt = remaining;
+        let mut end = next;
+        while end < areas.len() && opt > 0 {
+            opt -= areas[end].1.min(opt);
+            end += 1;
+        }
+        let rects: Vec<Rect> = areas[next..end].iter().map(|(r, _, _)| r.clone()).collect();
+        let outputs = engine.query_batch_outputs(&rects);
+        for ((_, cap, covered), out) in areas[next..end].iter().zip(&outputs) {
+            let want = (*cap).min(remaining);
+            let got = engine.select_excluding(out, want, rng, excluded);
             remaining -= got.len();
             outcome.samples.extend(got);
-            outcome.attempted.push(i);
+            outcome.attempted.extend(covered.iter().copied());
         }
+        next = end;
     }
     outcome.queries = engine.stats().queries - before;
     outcome

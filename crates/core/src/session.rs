@@ -100,6 +100,43 @@ impl SessionResult {
         }
         self.total_time / self.history.len() as u32
     }
+
+    /// Extraction costs summed over every iteration: total queries,
+    /// tuples examined/returned, cache hits/misses and engine wall-clock.
+    pub fn extraction_totals(&self) -> ExtractionStats {
+        let mut total = ExtractionStats::default();
+        for r in &self.history {
+            total.queries += r.extraction.queries;
+            total.tuples_examined += r.extraction.tuples_examined;
+            total.tuples_returned += r.extraction.tuples_returned;
+            total.cache_hits += r.extraction.cache_hits;
+            total.cache_misses += r.extraction.cache_misses;
+            total.elapsed += r.extraction.elapsed;
+        }
+        total
+    }
+
+    /// One-line extraction cost report for session summaries, including
+    /// the region-cache hit rate (hits / (hits + misses); "cache off" when
+    /// the session never consulted it).
+    pub fn cost_summary(&self) -> String {
+        let t = self.extraction_totals();
+        let lookups = t.cache_hits + t.cache_misses;
+        let cache = if lookups == 0 {
+            "cache off".to_string()
+        } else {
+            format!(
+                "cache {} hits / {} misses ({:.1}% hit rate)",
+                t.cache_hits,
+                t.cache_misses,
+                100.0 * t.cache_hits as f64 / lookups as f64
+            )
+        };
+        format!(
+            "extraction: {} queries, {} tuples examined, {} returned, {}, {:.1?} in engine",
+            t.queries, t.tuples_examined, t.tuples_returned, cache, t.elapsed
+        )
+    }
 }
 
 /// An in-progress AIDE exploration.
@@ -169,7 +206,7 @@ impl ExplorationSession {
     /// and stopping is driven by labels/iterations only.
     pub fn with_oracle(
         config: SessionConfig,
-        engine: ExtractionEngine,
+        mut engine: ExtractionEngine,
         eval_view: Arc<NumericView>,
         oracle: Box<dyn RelevanceOracle>,
         ground_truth: Option<TargetQuery>,
@@ -186,6 +223,10 @@ impl ExplorationSession {
         let discovery = DiscoveryPhase::new(&config, &engine, &mut rng);
         let dims = engine.view().dims();
         let pool = Pool::from_env(config.threads);
+        // The engine shares the session pool for its batch passes, and the
+        // session's cache toggle governs its region-result cache.
+        engine.set_pool(pool);
+        engine.set_cache_enabled(config.region_cache);
         Self {
             config,
             engine,

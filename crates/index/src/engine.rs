@@ -5,17 +5,36 @@
 //! calls, and the engine accounts for the costs the paper reports —
 //! number of extraction queries, tuples examined and extraction
 //! wall-clock time.
+//!
+//! Two optimizations sit between the phases and the raw
+//! [`RegionIndex`]:
+//!
+//! * a [`RegionCache`](crate::RegionCache) memoizing results per exact
+//!   rectangle (the view is immutable, so entries never go stale); a hit
+//!   still counts as an extraction query but charges **zero**
+//!   `tuples_examined` — the paper's cost model counts real work;
+//! * a **batch layer** ([`ExtractionEngine::query_batch`],
+//!   [`ExtractionEngine::count_batch`], [`ExtractionEngine::sample_batch`])
+//!   that answers a whole phase's sampling areas in one
+//!   [`Pool`](aide_util::par::Pool) pass. Results come back in input
+//!   order, and the RNG-consuming sample *selection* runs serially on the
+//!   caller's RNG after the parallel (RNG-free) query pass — so labels
+//!   and the RNG stream are bit-identical to a serial loop of
+//!   [`ExtractionEngine::sample_in_excluding`] calls for any
+//!   `AIDE_THREADS`.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use aide_data::NumericView;
-use aide_util::geom::Rect;
+use aide_util::geom::{Rect, RectKey};
 use aide_util::par::Pool;
-use aide_util::rng::Rng;
+use aide_util::rng::{Rng, Xoshiro256pp};
 
-use crate::{GridIndex, KdTree, RegionIndex, ScanIndex, SortedIndex};
+use crate::{
+    CountOutput, GridIndex, KdTree, QueryOutput, RegionCache, RegionIndex, ScanIndex, SortedIndex,
+};
 
 /// Which access path the engine uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,15 +60,38 @@ pub struct Sample {
     pub point: Vec<f64>,
 }
 
+/// One entry of a [`ExtractionEngine::sample_batch`] call: a sampling
+/// area plus how many samples to draw from it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampleRequest {
+    /// The sampling area.
+    pub rect: Rect,
+    /// Per-rect sample budget (0 issues no query, like the serial path).
+    pub n: usize,
+}
+
+impl SampleRequest {
+    /// A request for up to `n` samples inside `rect`.
+    pub fn new(rect: Rect, n: usize) -> Self {
+        Self { rect, n }
+    }
+}
+
 /// Cumulative extraction costs since the last reset.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ExtractionStats {
     /// Extraction queries issued (one per sampling area, as in the paper).
+    /// Cache hits still count: the phase logically issued the query.
     pub queries: u64,
     /// Points whose coordinates were tested against query rectangles.
+    /// Cache hits charge 0 — no point was re-examined.
     pub tuples_examined: u64,
     /// Points returned by queries (before sub-sampling to `n`).
     pub tuples_returned: u64,
+    /// Queries answered from the region cache.
+    pub cache_hits: u64,
+    /// Queries that had to run against the index.
+    pub cache_misses: u64,
     /// Wall-clock time spent inside the engine.
     pub elapsed: Duration,
 }
@@ -60,6 +102,9 @@ pub struct ExtractionEngine {
     index: Box<dyn RegionIndex>,
     kind: IndexKind,
     stats: ExtractionStats,
+    pool: Pool,
+    cache: RegionCache,
+    cache_enabled: bool,
 }
 
 impl std::fmt::Debug for ExtractionEngine {
@@ -68,6 +113,9 @@ impl std::fmt::Debug for ExtractionEngine {
             .field("points", &self.view.len())
             .field("dims", &self.view.dims())
             .field("index", &self.index.name())
+            .field("threads", &self.pool.threads())
+            .field("cache_enabled", &self.cache_enabled)
+            .field("cached_rects", &self.cache.len())
             .field("stats", &self.stats)
             .finish()
     }
@@ -80,13 +128,15 @@ impl ExtractionEngine {
     }
 
     /// Builds an engine over a shared view, constructing the index on the
-    /// ambient pool ([`Pool::from_env`]).
+    /// ambient pool ([`Pool::from_env`]) and keeping that pool for batch
+    /// calls.
     pub fn from_arc(view: Arc<NumericView>, kind: IndexKind) -> Self {
         Self::from_arc_with(view, kind, &Pool::from_env(0))
     }
 
     /// Builds an engine over a shared view, constructing the index on an
-    /// explicit worker pool. Indexes are identical for any thread count.
+    /// explicit worker pool (kept for batch calls). Indexes and batch
+    /// results are identical for any thread count.
     pub fn from_arc_with(view: Arc<NumericView>, kind: IndexKind, pool: &Pool) -> Self {
         let index: Box<dyn RegionIndex> = match kind {
             IndexKind::Grid => Box::new(GridIndex::build_with(&view, pool)),
@@ -99,6 +149,9 @@ impl ExtractionEngine {
             index,
             kind,
             stats: ExtractionStats::default(),
+            pool: *pool,
+            cache: RegionCache::new(),
+            cache_enabled: true,
         }
     }
 
@@ -117,25 +170,85 @@ impl ExtractionEngine {
         self.kind
     }
 
+    /// The worker pool batch calls run on.
+    pub fn pool(&self) -> Pool {
+        self.pool
+    }
+
+    /// Replaces the worker pool used by batch calls. Results are
+    /// bit-identical for any pool size; only wall-clock time changes.
+    pub fn set_pool(&mut self, pool: Pool) {
+        self.pool = pool;
+    }
+
+    /// Whether the region cache is consulted (on by default).
+    pub fn cache_enabled(&self) -> bool {
+        self.cache_enabled
+    }
+
+    /// Turns the region cache on or off. Turning it off stops lookups and
+    /// insertions but keeps existing entries for a later re-enable.
+    pub fn set_cache_enabled(&mut self, enabled: bool) {
+        self.cache_enabled = enabled;
+    }
+
+    /// Number of distinct rectangles currently cached.
+    pub fn cached_regions(&self) -> usize {
+        self.cache.len()
+    }
+
     /// Cost counters accumulated so far.
     pub fn stats(&self) -> ExtractionStats {
         self.stats
     }
 
     /// Resets the cost counters (e.g. between exploration iterations).
+    /// Cached results are kept — the cache never goes stale.
     pub fn reset_stats(&mut self) {
         self.stats = ExtractionStats::default();
+    }
+
+    /// Books a query served from the cache: it still counts as an
+    /// extraction query, but no tuple was re-examined.
+    fn book_hit(&mut self, returned: usize) {
+        self.stats.queries += 1;
+        self.stats.cache_hits += 1;
+        self.stats.tuples_returned += returned as u64;
+    }
+
+    /// Books a query that ran against the index.
+    fn book_miss(&mut self, examined: usize, returned: usize) {
+        self.stats.queries += 1;
+        self.stats.tuples_examined += examined as u64;
+        self.stats.tuples_returned += returned as u64;
+        if self.cache_enabled {
+            self.stats.cache_misses += 1;
+        }
+    }
+
+    /// The cached query path every single-rect entry point routes through.
+    fn fetch_query(&mut self, rect: &Rect) -> Arc<QueryOutput> {
+        if self.cache_enabled {
+            if let Some(hit) = self.cache.get_query(&rect.key()) {
+                self.book_hit(hit.indices.len());
+                return hit;
+            }
+        }
+        let out = Arc::new(self.index.query(&self.view, rect));
+        self.book_miss(out.examined, out.indices.len());
+        if self.cache_enabled {
+            self.cache.put_query(rect, Arc::clone(&out));
+        }
+        out
     }
 
     /// All view indices inside `rect` (one extraction query).
     pub fn query_in(&mut self, rect: &Rect) -> Vec<u32> {
         let start = Instant::now();
-        let out = self.index.query(&self.view, rect);
-        self.stats.queries += 1;
-        self.stats.tuples_examined += out.examined as u64;
-        self.stats.tuples_returned += out.indices.len() as u64;
+        let out = self.fetch_query(rect);
+        let indices = out.indices.clone();
         self.stats.elapsed += start.elapsed();
-        out.indices
+        indices
     }
 
     /// Number of points inside `rect` (one extraction query). Counts via
@@ -143,10 +256,19 @@ impl ExtractionEngine {
     /// vector — density probes over large rectangles stay allocation-free.
     pub fn count_in(&mut self, rect: &Rect) -> usize {
         let start = Instant::now();
-        let out = self.index.count(&self.view, rect);
-        self.stats.queries += 1;
-        self.stats.tuples_examined += out.examined as u64;
-        self.stats.tuples_returned += out.count as u64;
+        let out = if self.cache_enabled {
+            if let Some(hit) = self.cache.get_count(&rect.key()) {
+                self.book_hit(hit.count);
+                self.stats.elapsed += start.elapsed();
+                return hit.count;
+            }
+            let out = self.index.count(&self.view, rect);
+            self.cache.put_count(rect, out);
+            out
+        } else {
+            self.index.count(&self.view, rect)
+        };
+        self.book_miss(out.examined, out.count);
         self.stats.elapsed += start.elapsed();
         out.count
     }
@@ -186,15 +308,33 @@ impl ExtractionEngine {
             return Vec::new();
         }
         let start = Instant::now();
-        let out = self.index.query(&self.view, rect);
-        self.stats.queries += 1;
-        self.stats.tuples_examined += out.examined as u64;
-        self.stats.tuples_returned += out.indices.len() as u64;
+        let out = self.fetch_query(rect);
+        let samples = self.select_excluding(&out, n, rng, excluded);
+        self.stats.elapsed += start.elapsed();
+        samples
+    }
+
+    /// The RNG-consuming half of sampling, split out so batch calls can
+    /// run it serially in input order after the parallel query pass. RNG
+    /// consumption depends only on the candidate count, so for a given
+    /// query result this is bit-identical however the result was obtained
+    /// (index, cache, serial or parallel). Charges no stats.
+    pub fn select_excluding<R: Rng + ?Sized>(
+        &self,
+        out: &QueryOutput,
+        n: usize,
+        rng: &mut R,
+        excluded: &HashSet<u32>,
+    ) -> Vec<Sample> {
+        if n == 0 {
+            return Vec::new();
+        }
         let candidates: Vec<u32> = if excluded.is_empty() {
-            out.indices
+            out.indices.clone()
         } else {
             out.indices
-                .into_iter()
+                .iter()
+                .copied()
                 .filter(|&i| !excluded.contains(&self.view.row_id(i as usize)))
                 .collect()
         };
@@ -206,16 +346,215 @@ impl ExtractionEngine {
                 .map(|i| candidates[i])
                 .collect()
         };
-        let samples = chosen
+        chosen
             .into_iter()
             .map(|i| Sample {
                 view_index: i,
                 row_id: self.view.row_id(i as usize),
                 point: self.view.point(i as usize).to_vec(),
             })
-            .collect();
+            .collect()
+    }
+
+    /// Whether a query result still holds at least one candidate after
+    /// removing `excluded` rows. RNG-free — phases use it to decide
+    /// fallback queries *before* any selection draw happens, which is what
+    /// lets them batch all queries while keeping the serial RNG stream.
+    pub fn has_candidates(&self, out: &QueryOutput, excluded: &HashSet<u32>) -> bool {
+        if excluded.is_empty() {
+            !out.indices.is_empty()
+        } else {
+            out.indices
+                .iter()
+                .any(|&i| !excluded.contains(&self.view.row_id(i as usize)))
+        }
+    }
+
+    /// Answers every rectangle in one pool pass, results in input order.
+    ///
+    /// With the cache enabled, previously seen rectangles are served from
+    /// it and bit-identical duplicates *within* the batch run once: the
+    /// first occurrence is the miss, later ones are hits — exactly the
+    /// accounting a serial loop over [`ExtractionEngine::query_in`] would
+    /// produce. With the cache disabled every rectangle runs against the
+    /// index, again matching the serial loop.
+    pub fn query_batch_outputs(&mut self, rects: &[Rect]) -> Vec<Arc<QueryOutput>> {
+        let start = Instant::now();
+        let mut results: Vec<Option<Arc<QueryOutput>>> = vec![None; rects.len()];
+        // dup_of[i] = earlier batch position with a bit-identical rect.
+        let mut dup_of: Vec<Option<usize>> = vec![None; rects.len()];
+        let mut misses: Vec<usize> = Vec::new();
+        if self.cache_enabled {
+            let mut first_seen: HashMap<RectKey, usize> = HashMap::new();
+            for (i, rect) in rects.iter().enumerate() {
+                let key = rect.key();
+                if let Some(hit) = self.cache.get_query(&key) {
+                    self.book_hit(hit.indices.len());
+                    results[i] = Some(hit);
+                } else if let Some(&j) = first_seen.get(&key) {
+                    dup_of[i] = Some(j);
+                } else {
+                    first_seen.insert(key, i);
+                    misses.push(i);
+                }
+            }
+        } else {
+            misses.extend(0..rects.len());
+        }
+
+        // The parallel pass: RNG-free index queries only. Chunk size 1 and
+        // chunk-index-order reassembly keep results in input order for any
+        // thread count.
+        let pool = self.pool;
+        let (view, index) = (&self.view, &self.index);
+        let fresh: Vec<Arc<QueryOutput>> = pool.par_map_collect(misses.len(), 1, |r| {
+            r.map(|m| Arc::new(index.query(view, &rects[misses[m]])))
+                .collect()
+        });
+
+        for (out, &i) in fresh.iter().zip(&misses) {
+            self.book_miss(out.examined, out.indices.len());
+            if self.cache_enabled {
+                self.cache.put_query(&rects[i], Arc::clone(out));
+            }
+            results[i] = Some(Arc::clone(out));
+        }
+        for i in 0..rects.len() {
+            if let Some(j) = dup_of[i] {
+                let out = results[j].clone().expect("first occurrence resolved");
+                self.book_hit(out.indices.len());
+                results[i] = Some(out);
+            }
+        }
         self.stats.elapsed += start.elapsed();
-        samples
+        results
+            .into_iter()
+            .map(|r| r.expect("every rect resolved"))
+            .collect()
+    }
+
+    /// Batch variant of [`ExtractionEngine::query_in`]: all matching view
+    /// indices per rectangle, in input order, answered in one pool pass.
+    pub fn query_batch(&mut self, rects: &[Rect]) -> Vec<Vec<u32>> {
+        self.query_batch_outputs(rects)
+            .into_iter()
+            .map(|out| out.indices.clone())
+            .collect()
+    }
+
+    /// Batch variant of [`ExtractionEngine::count_in`]: per-rect counts in
+    /// input order, answered in one pool pass with the same cache and
+    /// duplicate handling as [`ExtractionEngine::query_batch_outputs`].
+    pub fn count_batch(&mut self, rects: &[Rect]) -> Vec<usize> {
+        let start = Instant::now();
+        let mut results: Vec<Option<CountOutput>> = vec![None; rects.len()];
+        let mut dup_of: Vec<Option<usize>> = vec![None; rects.len()];
+        let mut misses: Vec<usize> = Vec::new();
+        if self.cache_enabled {
+            let mut first_seen: HashMap<RectKey, usize> = HashMap::new();
+            for (i, rect) in rects.iter().enumerate() {
+                let key = rect.key();
+                if let Some(hit) = self.cache.get_count(&key) {
+                    self.book_hit(hit.count);
+                    results[i] = Some(hit);
+                } else if let Some(&j) = first_seen.get(&key) {
+                    dup_of[i] = Some(j);
+                } else {
+                    first_seen.insert(key, i);
+                    misses.push(i);
+                }
+            }
+        } else {
+            misses.extend(0..rects.len());
+        }
+
+        let pool = self.pool;
+        let (view, index) = (&self.view, &self.index);
+        let fresh: Vec<CountOutput> = pool.par_map_collect(misses.len(), 1, |r| {
+            r.map(|m| index.count(view, &rects[misses[m]])).collect()
+        });
+
+        for (out, &i) in fresh.iter().zip(&misses) {
+            self.book_miss(out.examined, out.count);
+            if self.cache_enabled {
+                self.cache.put_count(&rects[i], *out);
+            }
+            results[i] = Some(*out);
+        }
+        for i in 0..rects.len() {
+            if let Some(j) = dup_of[i] {
+                let out = results[j].expect("first occurrence resolved");
+                self.book_hit(out.count);
+                results[i] = Some(out);
+            }
+        }
+        self.stats.elapsed += start.elapsed();
+        results
+            .into_iter()
+            .map(|r| r.expect("every rect resolved").count)
+            .collect()
+    }
+
+    /// Answers a whole phase's sampling areas at once: the (RNG-free)
+    /// queries run in one pool pass, then selection runs serially in input
+    /// order on the caller's RNG — so the returned samples and the state
+    /// of `rng` afterwards are **bit-identical** to a serial loop of
+    /// [`ExtractionEngine::sample_in_excluding`] calls, for any thread
+    /// count. Requests with `n == 0` issue no query, like the serial path.
+    pub fn sample_batch<R: Rng + ?Sized>(
+        &mut self,
+        requests: &[SampleRequest],
+        rng: &mut R,
+        excluded: &HashSet<u32>,
+    ) -> Vec<Vec<Sample>> {
+        let active: Vec<usize> = (0..requests.len()).filter(|&i| requests[i].n > 0).collect();
+        let rects: Vec<Rect> = active.iter().map(|&i| requests[i].rect.clone()).collect();
+        let outputs = self.query_batch_outputs(&rects);
+        let start = Instant::now();
+        let mut results: Vec<Vec<Sample>> = vec![Vec::new(); requests.len()];
+        for (out, &i) in outputs.iter().zip(&active) {
+            results[i] = self.select_excluding(out, requests[i].n, rng, excluded);
+        }
+        self.stats.elapsed += start.elapsed();
+        results
+    }
+
+    /// Fully parallel sampling: each request selects from its own RNG
+    /// stream pre-split off `rng`
+    /// ([`Xoshiro256pp::split_streams`]), so selection can run inside the
+    /// pool pass too. Deterministic for any thread count (streams are
+    /// assigned by input position and `rng` advances by exactly one draw),
+    /// but **not** label-compatible with the serial path — use
+    /// [`ExtractionEngine::sample_batch`] when replaying sessions recorded
+    /// against serial sampling.
+    pub fn sample_batch_streams(
+        &mut self,
+        requests: &[SampleRequest],
+        rng: &mut Xoshiro256pp,
+        excluded: &HashSet<u32>,
+    ) -> Vec<Vec<Sample>> {
+        let active: Vec<usize> = (0..requests.len()).filter(|&i| requests[i].n > 0).collect();
+        let rects: Vec<Rect> = active.iter().map(|&i| requests[i].rect.clone()).collect();
+        let streams = rng.split_streams(active.len());
+        let outputs = self.query_batch_outputs(&rects);
+        let start = Instant::now();
+        let pool = self.pool;
+        let selected: Vec<Vec<Sample>> = {
+            let this = &*self;
+            pool.par_map_collect(active.len(), 1, |r| {
+                r.map(|k| {
+                    let mut stream = streams[k].clone();
+                    this.select_excluding(&outputs[k], requests[active[k]].n, &mut stream, excluded)
+                })
+                .collect()
+            })
+        };
+        let mut results: Vec<Vec<Sample>> = vec![Vec::new(); requests.len()];
+        for (samples, &i) in selected.into_iter().zip(&active) {
+            results[i] = samples;
+        }
+        self.stats.elapsed += start.elapsed();
+        results
     }
 }
 
@@ -290,6 +629,7 @@ mod tests {
     fn stats_accumulate_and_reset() {
         let view = grid_view(10);
         let mut engine = ExtractionEngine::new(view, IndexKind::Scan);
+        engine.set_cache_enabled(false); // pre-cache accounting
         let mut rng = Xoshiro256pp::seed_from_u64(2);
         let rect = Rect::full_domain(2);
         engine.sample_in(&rect, 5, &mut rng);
@@ -298,8 +638,148 @@ mod tests {
         assert_eq!(stats.queries, 2);
         assert_eq!(stats.tuples_examined, 200);
         assert_eq!(stats.tuples_returned, 200);
+        assert_eq!((stats.cache_hits, stats.cache_misses), (0, 0));
         engine.reset_stats();
         assert_eq!(engine.stats(), ExtractionStats::default());
+    }
+
+    #[test]
+    fn second_identical_count_is_a_cache_hit_charging_zero_examined() {
+        // The satellite bugfix: density() / γ-adjustment probes re-issue
+        // bit-identical rectangles every iteration; the repeat must be a
+        // hit and must not re-examine any tuple.
+        let view = grid_view(10);
+        let mut engine = ExtractionEngine::new(view, IndexKind::Scan);
+        let rect = Rect::full_domain(2);
+        let first = engine.count_in(&rect);
+        let examined_once = engine.stats().tuples_examined;
+        assert_eq!(examined_once, 100, "scan examines the whole view once");
+        let second = engine.count_in(&rect);
+        let stats = engine.stats();
+        assert_eq!(first, second);
+        assert_eq!(stats.queries, 2, "a hit still counts as a query");
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.cache_misses, 1);
+        assert_eq!(
+            stats.tuples_examined, examined_once,
+            "the cache hit charged 0 tuples_examined"
+        );
+        // A full query over the same rect is another hit? No: the count
+        // entry cannot materialize indices, so the query runs once...
+        engine.query_in(&rect);
+        assert_eq!(engine.stats().cache_misses, 2);
+        // ...and from then on both query and count are hits.
+        engine.query_in(&rect);
+        engine.count_in(&rect);
+        let stats = engine.stats();
+        assert_eq!(stats.cache_hits, 3);
+        assert_eq!(stats.tuples_examined, 2 * examined_once);
+    }
+
+    #[test]
+    fn cached_sampling_matches_uncached_sampling_bitwise() {
+        let view = grid_view(20);
+        let rect = Rect::new(vec![0.0, 0.0], vec![40.0, 40.0]);
+        let mut cached = ExtractionEngine::new(view.clone(), IndexKind::Grid);
+        let mut plain = ExtractionEngine::new(view, IndexKind::Grid);
+        plain.set_cache_enabled(false);
+        let mut rng_a = Xoshiro256pp::seed_from_u64(7);
+        let mut rng_b = Xoshiro256pp::seed_from_u64(7);
+        for _ in 0..3 {
+            let a = cached.sample_in(&rect, 6, &mut rng_a);
+            let b = plain.sample_in(&rect, 6, &mut rng_b);
+            assert_eq!(a, b);
+        }
+        assert_eq!(cached.stats().cache_hits, 2);
+        assert_eq!(plain.stats().cache_hits, 0);
+        assert!(cached.stats().tuples_examined < plain.stats().tuples_examined);
+    }
+
+    #[test]
+    fn batch_results_match_serial_loop_and_any_thread_count() {
+        let view = grid_view(25);
+        let rects: Vec<Rect> = (0..12)
+            .map(|i| {
+                let lo = (i * 7 % 50) as f64;
+                Rect::new(vec![lo, lo / 2.0], vec![lo + 23.0, lo / 2.0 + 31.0])
+            })
+            .collect();
+        // Duplicate one rect to exercise within-batch dedup.
+        let mut rects = rects;
+        rects.push(rects[3].clone());
+
+        let mut serial = ExtractionEngine::new(view.clone(), IndexKind::Grid);
+        let serial_counts: Vec<usize> = rects.iter().map(|r| serial.count_in(r)).collect();
+        let serial_queries: Vec<Vec<u32>> = rects.iter().map(|r| serial.query_in(r)).collect();
+
+        for threads in [1, 4] {
+            let mut batch = ExtractionEngine::new(view.clone(), IndexKind::Grid);
+            batch.set_pool(Pool::new(threads));
+            assert_eq!(batch.count_batch(&rects), serial_counts, "{threads} threads");
+            assert_eq!(batch.query_batch(&rects), serial_queries, "{threads} threads");
+            // Totals match the serial loop exactly (hit/miss pattern too).
+            assert_eq!(batch.stats().queries, serial.stats().queries);
+            assert_eq!(batch.stats().tuples_examined, serial.stats().tuples_examined);
+            assert_eq!(batch.stats().cache_hits, serial.stats().cache_hits);
+        }
+    }
+
+    #[test]
+    fn sample_batch_is_bit_identical_to_serial_loop_including_rng_state() {
+        let view = grid_view(25);
+        let requests: Vec<SampleRequest> = (0..10)
+            .map(|i| {
+                let lo = (i * 11 % 60) as f64;
+                SampleRequest::new(
+                    Rect::new(vec![lo, 0.0], vec![lo + 19.0, 45.0]),
+                    if i == 4 { 0 } else { 3 + i % 4 },
+                )
+            })
+            .collect();
+        let excluded: HashSet<u32> = [5, 90, 311].into_iter().collect();
+
+        let mut serial = ExtractionEngine::new(view.clone(), IndexKind::Grid);
+        let mut rng_s = Xoshiro256pp::seed_from_u64(42);
+        let want: Vec<Vec<Sample>> = requests
+            .iter()
+            .map(|q| serial.sample_in_excluding(&q.rect, q.n, &mut rng_s, &excluded))
+            .collect();
+
+        for threads in [1, 4] {
+            let mut batch = ExtractionEngine::new(view.clone(), IndexKind::Grid);
+            batch.set_pool(Pool::new(threads));
+            let mut rng_b = Xoshiro256pp::seed_from_u64(42);
+            let got = batch.sample_batch(&requests, &mut rng_b, &excluded);
+            assert_eq!(got, want, "{threads} threads");
+            // The caller RNG ends in the same state as after the serial loop.
+            assert_eq!(rng_b.next_u64(), rng_s.clone().next_u64(), "{threads} threads");
+            assert_eq!(batch.stats().queries, serial.stats().queries);
+        }
+    }
+
+    #[test]
+    fn sample_batch_streams_is_thread_count_independent() {
+        let view = grid_view(20);
+        let requests: Vec<SampleRequest> = (0..8)
+            .map(|i| {
+                let lo = (i * 9 % 40) as f64;
+                SampleRequest::new(Rect::new(vec![lo, lo], vec![lo + 30.0, lo + 30.0]), 4)
+            })
+            .collect();
+        let excluded = HashSet::new();
+        let mut runs = Vec::new();
+        for threads in [1, 4] {
+            let mut engine = ExtractionEngine::new(view.clone(), IndexKind::Grid);
+            engine.set_pool(Pool::new(threads));
+            let mut rng = Xoshiro256pp::seed_from_u64(9);
+            let got = engine.sample_batch_streams(&requests, &mut rng, &excluded);
+            for (q, samples) in requests.iter().zip(&got) {
+                assert!(samples.len() <= q.n);
+                assert!(samples.iter().all(|s| q.rect.contains(&s.point)));
+            }
+            runs.push(got);
+        }
+        assert_eq!(runs[0], runs[1]);
     }
 
     #[test]
@@ -320,6 +800,11 @@ mod tests {
         let mut rng = Xoshiro256pp::seed_from_u64(3);
         let out = engine.sample_in(&Rect::full_domain(2), 0, &mut rng);
         assert!(out.is_empty());
+        assert_eq!(engine.stats().queries, 0);
+        // Same for a batch of only-zero requests.
+        let reqs = vec![SampleRequest::new(Rect::full_domain(2), 0)];
+        let out = engine.sample_batch(&reqs, &mut rng, &HashSet::new());
+        assert_eq!(out, vec![Vec::new()]);
         assert_eq!(engine.stats().queries, 0);
     }
 

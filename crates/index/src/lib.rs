@@ -18,13 +18,15 @@
 //!   per-session counters for extraction queries, tuples examined and
 //!   wall-clock time (the paper's "sample extraction time").
 
+pub mod cache;
 pub mod engine;
 pub mod grid;
 pub mod kdtree;
 pub mod scan;
 pub mod sorted;
 
-pub use engine::{ExtractionEngine, ExtractionStats, IndexKind, Sample};
+pub use cache::{CacheStats, RegionCache};
+pub use engine::{ExtractionEngine, ExtractionStats, IndexKind, Sample, SampleRequest};
 pub use grid::GridIndex;
 pub use kdtree::KdTree;
 pub use scan::ScanIndex;

@@ -7,12 +7,14 @@ use std::collections::HashSet;
 use aide_data::view::{Domain, SpaceMapper};
 use aide_data::NumericView;
 use aide_index::{
-    ExtractionEngine, GridIndex, IndexKind, KdTree, RegionIndex, ScanIndex, SortedIndex,
+    ExtractionEngine, GridIndex, IndexKind, KdTree, RegionIndex, SampleRequest, ScanIndex,
+    SortedIndex,
 };
 use aide_testkit::prop::gen;
 use aide_testkit::{forall, prop_assert, prop_assert_eq};
 use aide_util::geom::Rect;
-use aide_util::rng::Xoshiro256pp;
+use aide_util::par::Pool;
+use aide_util::rng::{Rng as _, Xoshiro256pp};
 
 /// Raw 2-d points in the normalized space; the `NumericView` is built in
 /// the property body so the point list keeps shrinking.
@@ -90,6 +92,66 @@ forall! {
         prop_assert_eq!(ids.len(), samples.len(), "duplicate samples");
         for s in &samples {
             prop_assert!(rect.contains(&s.point));
+        }
+    }
+
+    /// The batched, cached engine is indistinguishable from a fresh
+    /// serial engine: for an arbitrary rect set, sample sizes, seed and
+    /// thread count, `sample_batch`/`count_batch` return bit-identical
+    /// samples and counts — and leave the RNG in the same state — as a
+    /// plain serial loop on an engine with no cache, across all four
+    /// access paths. A second, fully warm batch must agree too.
+    fn batched_cached_engine_matches_fresh_serial_engine(
+        points in points_gen(),
+        all_corners in gen::vec_of(rect_corners(), 0..6),
+        n in gen::usize_in(0..20),
+        seed in gen::any_u64(),
+        threads in gen::usize_in(1..5),
+    ) {
+        let rects: Vec<Rect> = all_corners.iter().map(rect_from).collect();
+        let excluded = HashSet::new();
+        let kinds = [
+            IndexKind::Grid,
+            IndexKind::KdTree,
+            IndexKind::Sorted,
+            IndexKind::Scan,
+        ];
+        for kind in kinds {
+            // Reference: cache off, serial pool, one query per call.
+            let mut serial = ExtractionEngine::new(view_from(&points), kind);
+            serial.set_pool(Pool::serial());
+            serial.set_cache_enabled(false);
+            let mut rng_s = Xoshiro256pp::seed_from_u64(seed);
+            let expected: Vec<_> = rects
+                .iter()
+                .enumerate()
+                .map(|(i, r)| serial.sample_in_excluding(r, (n + i) % 20, &mut rng_s, &excluded))
+                .collect();
+            let expected_counts: Vec<usize> = rects.iter().map(|r| serial.count_in(r)).collect();
+
+            // Subject: cache on (default), explicit multi-thread pool.
+            let mut batched = ExtractionEngine::new(view_from(&points), kind);
+            batched.set_pool(Pool::new(threads));
+            let requests: Vec<SampleRequest> = rects
+                .iter()
+                .enumerate()
+                .map(|(i, r)| SampleRequest::new(r.clone(), (n + i) % 20))
+                .collect();
+            let mut rng_b = Xoshiro256pp::seed_from_u64(seed);
+            let got = batched.sample_batch(&requests, &mut rng_b, &excluded);
+            prop_assert_eq!(&got, &expected, "samples diverge on {:?} t{}", kind, threads);
+            prop_assert_eq!(
+                rng_b.next_u64(),
+                rng_s.next_u64(),
+                "RNG state diverges on {:?} t{}", kind, threads
+            );
+            let counts = batched.count_batch(&rects);
+            prop_assert_eq!(&counts, &expected_counts, "counts diverge on {:?}", kind);
+
+            // Warm re-run: every answer now comes from the cache.
+            let mut rng_w = Xoshiro256pp::seed_from_u64(seed);
+            let warm = batched.sample_batch(&requests, &mut rng_w, &excluded);
+            prop_assert_eq!(&warm, &expected, "warm cache diverges on {:?}", kind);
         }
     }
 

@@ -220,7 +220,34 @@ impl Rect {
         out.hi[d] = hi;
         Rect::new(out.lo, out.hi)
     }
+
+    /// Canonical hashable identity of this rectangle: the exact bit
+    /// patterns of every bound, lows then highs. Two rectangles produce
+    /// the same key iff their `f64` bounds are bit-identical — no epsilon
+    /// tolerance, which is exactly what a never-invalidated region cache
+    /// needs (an epsilon-equal rectangle selects a different point set).
+    ///
+    /// `Rect::new` rejects NaN and infinities, so bitwise equality here
+    /// coincides with `==` except for `-0.0` vs `0.0` — those are kept
+    /// distinct, which only costs a spurious cache miss, never a wrong
+    /// hit.
+    pub fn key(&self) -> RectKey {
+        let bits: Vec<u64> = self
+            .lo
+            .iter()
+            .chain(&self.hi)
+            .map(|v| v.to_bits())
+            .collect();
+        RectKey(bits.into_boxed_slice())
+    }
 }
+
+/// A [`Rect`]'s canonical cache key: the exact bits of its bounds.
+///
+/// Built by [`Rect::key`]; hashable and comparable so it can index a
+/// region-result cache.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RectKey(Box<[u64]>);
 
 /// Whether any rectangle in `rects` contains `point`.
 ///
@@ -320,6 +347,24 @@ mod tests {
         assert!(any_contains(&rs, &[5.5, 5.5]));
         assert!(!any_contains(&rs, &[3.0, 3.0]));
         assert!(!any_contains(&[], &[3.0, 3.0]));
+    }
+
+    #[test]
+    fn rect_keys_are_exact_bit_identities() {
+        let a = rect2([0.0, 10.0], [5.0, 20.0]);
+        let b = rect2([0.0, 10.0], [5.0, 20.0]);
+        assert_eq!(a.key(), b.key());
+        // Any bit-level difference produces a different key — no epsilon.
+        let c = rect2([0.0, 10.0], [5.0_f64.next_up(), 20.0]);
+        assert_ne!(a.key(), c.key());
+        // -0.0 and 0.0 are distinct keys (harmless spurious miss).
+        let neg = rect2([-0.0, 10.0], [5.0, 20.0]);
+        assert_ne!(a.key(), neg.key());
+        // Keys are usable as hash-map keys.
+        let mut map = std::collections::HashMap::new();
+        map.insert(a.key(), 1);
+        assert_eq!(map.get(&b.key()), Some(&1));
+        assert_eq!(map.get(&c.key()), None);
     }
 
     #[test]

@@ -1,0 +1,168 @@
+#!/usr/bin/env python3
+"""Compare fresh bench results against the committed baseline.
+
+Reads ``aide-bench/1`` JSON-lines records from every ``*.json`` file in
+the results directory (default ``target/bench``) and from the baseline
+file (default ``BENCH_baseline.json``), keys them by bench name, and
+fails when any bench's fresh median exceeds ``threshold`` times its
+baseline median (default 2.5x — generous because CI medians come from a
+short smoke budget on shared hardware).
+
+Benches present only in the fresh results (newly added) or only in the
+baseline (filtered out of this run) are reported but do not fail the
+check; they become meaningful after re-baselining.
+
+Re-baselining
+-------------
+
+When a slowdown is intentional (heavier algorithm, bigger default
+workload) or new benches should start being tracked, regenerate the
+baseline on a quiet machine and commit it:
+
+    cargo bench --workspace --offline
+    python3 scripts/perf_check.py --rebaseline
+    git add BENCH_baseline.json
+
+Keep the justification in the commit message; the perf job treats the
+committed file as ground truth.
+
+Self-test
+---------
+
+``--self-test`` exercises the checker against synthetic data — a clean
+pair that must pass and a pair with an injected 10x regression that must
+fail — and exits nonzero if either behaves wrong. CI runs it before the
+real comparison so a broken checker cannot silently wave regressions
+through. No bench results are needed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+SCHEMA = "aide-bench/1"
+
+
+def load_records(lines, source):
+    """Parse JSON-lines bench records into {bench_name: median_ns}."""
+    medians = {}
+    for lineno, line in enumerate(lines, 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError as e:
+            raise SystemExit(f"{source}:{lineno}: invalid JSON: {e}")
+        if rec.get("schema") != SCHEMA:
+            raise SystemExit(
+                f"{source}:{lineno}: schema {rec.get('schema')!r}, want {SCHEMA!r}"
+            )
+        name, median = rec["bench"], rec["median_ns"]
+        if median is None or median <= 0:
+            raise SystemExit(f"{source}:{lineno}: bench {name!r} has no usable median")
+        if name in medians:
+            raise SystemExit(f"{source}:{lineno}: duplicate bench {name!r}")
+        medians[name] = float(median)
+    return medians
+
+
+def load_dir(results_dir: Path):
+    medians = {}
+    files = sorted(results_dir.glob("*.json"))
+    if not files:
+        raise SystemExit(f"no *.json bench results in {results_dir}/ — run the benches first")
+    for path in files:
+        for name, median in load_records(path.read_text().splitlines(), str(path)).items():
+            if name in medians:
+                raise SystemExit(f"{path}: bench {name!r} already seen in another file")
+            medians[name] = median
+    return medians
+
+
+def compare(baseline, fresh, threshold):
+    """Returns (regressions, report_lines). Pure so the self-test can drive it."""
+    regressions = []
+    lines = []
+    for name in sorted(set(baseline) | set(fresh)):
+        if name not in fresh:
+            lines.append(f"  [gone ] {name}: in baseline only (not run this time)")
+            continue
+        if name not in baseline:
+            lines.append(f"  [new  ] {name}: {fresh[name]:.0f} ns (no baseline yet)")
+            continue
+        ratio = fresh[name] / baseline[name]
+        status = "FAIL " if ratio > threshold else "ok   "
+        lines.append(
+            f"  [{status}] {name}: {fresh[name]:.0f} ns vs baseline "
+            f"{baseline[name]:.0f} ns ({ratio:.2f}x)"
+        )
+        if ratio > threshold:
+            regressions.append((name, ratio))
+    return regressions, lines
+
+
+def self_test(threshold):
+    baseline = {"substrate/a": 1000.0, "substrate/b": 2000.0}
+    clean = {"substrate/a": 1100.0, "substrate/b": 1900.0, "substrate/new": 50.0}
+    regressions, _ = compare(baseline, clean, threshold)
+    if regressions:
+        print(f"self-test FAILED: clean run flagged {regressions}", file=sys.stderr)
+        return 1
+    # Inject a synthetic 10x regression on one bench; the checker must catch it.
+    injected = dict(clean, **{"substrate/b": baseline["substrate/b"] * 10.0})
+    regressions, _ = compare(baseline, injected, threshold)
+    if [name for name, _ in regressions] != ["substrate/b"]:
+        print(f"self-test FAILED: injected regression not caught: {regressions}", file=sys.stderr)
+        return 1
+    print(f"self-test ok: clean pair passes, injected 10x regression fails (threshold {threshold}x)")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline", type=Path, default=Path("BENCH_baseline.json"))
+    ap.add_argument("--results", type=Path, default=Path("target/bench"))
+    ap.add_argument("--threshold", type=float, default=2.5,
+                    help="fail when fresh median > threshold * baseline median (default 2.5)")
+    ap.add_argument("--rebaseline", action="store_true",
+                    help="overwrite the baseline file with the fresh results and exit")
+    ap.add_argument("--self-test", action="store_true",
+                    help="verify the checker itself catches an injected regression")
+    args = ap.parse_args()
+
+    if args.self_test:
+        sys.exit(self_test(args.threshold))
+
+    if args.rebaseline:
+        records = []
+        for path in sorted(args.results.glob("*.json")):
+            records.extend(l for l in path.read_text().splitlines() if l.strip())
+        if not records:
+            raise SystemExit(f"no bench results in {args.results}/ to baseline")
+        load_records(records, str(args.results))  # validate before overwriting
+        args.baseline.write_text("\n".join(records) + "\n")
+        print(f"wrote {len(records)} bench records to {args.baseline}")
+        return
+
+    baseline = load_records(args.baseline.read_text().splitlines(), str(args.baseline))
+    fresh = load_dir(args.results)
+    regressions, lines = compare(baseline, fresh, args.threshold)
+    print(f"perf check: {len(fresh)} fresh vs {len(baseline)} baseline benches "
+          f"(threshold {args.threshold}x)")
+    print("\n".join(lines))
+    if regressions:
+        worst = ", ".join(f"{n} ({r:.2f}x)" for n, r in regressions)
+        print(f"\nFAIL: {len(regressions)} median regression(s) past "
+              f"{args.threshold}x: {worst}", file=sys.stderr)
+        print("If intentional, re-baseline: see scripts/perf_check.py docstring.",
+              file=sys.stderr)
+        sys.exit(1)
+    print("\nok: no median regression past the threshold")
+
+
+if __name__ == "__main__":
+    main()

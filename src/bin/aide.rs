@@ -248,6 +248,7 @@ fn cmd_explore(flags: &Flags) -> Result<(), String> {
         table.num_rows(),
         session.reviewed()
     );
+    println!("{}", session.result().cost_summary());
     if view.dims() == 2 {
         println!(
             "\npredicted regions (o) over the data (·/:):\n{}",

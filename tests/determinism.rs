@@ -1,0 +1,198 @@
+//! Full-session determinism regression tests.
+//!
+//! The batched extraction layer and the region-result cache must be
+//! *invisible* to the steering loop: the fingerprints pinned here —
+//! label sequence, relevant counts, F-measure bits, predicted SQL and
+//! total extraction queries — were recorded on the pre-batching,
+//! pre-cache serial implementation. Any drift in labels, RNG stream,
+//! query issuance or model output changes a fingerprint and fails.
+//!
+//! Thread independence is covered by CI's threads matrix, which runs
+//! this file under both `AIDE_THREADS=1` and `AIDE_THREADS=4`: the
+//! fingerprints must hold for any thread count.
+
+use std::sync::Arc;
+
+use aide::core::{DiscoveryStrategy, ExplorationSession, SessionConfig, TargetQuery};
+use aide::data::sdss_like;
+use aide::index::{ExtractionEngine, IndexKind};
+use aide::util::geom::Rect;
+use aide::util::rng::Xoshiro256pp;
+
+fn fnv1a(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= b as u64;
+        *h = h.wrapping_mul(0x100000001b3);
+    }
+}
+
+struct Fingerprint {
+    labeled: usize,
+    relevant: usize,
+    f_bits: u64,
+    hash: u64,
+    queries_total: u64,
+}
+
+fn run_session(config: SessionConfig) -> (ExplorationSession, Fingerprint) {
+    let mut rng = Xoshiro256pp::seed_from_u64(11);
+    let table = sdss_like(30_000).generate(&mut rng);
+    let view = Arc::new(table.numeric_view(&["rowc", "colc"]).unwrap());
+    let target = TargetQuery::new(vec![
+        Rect::new(vec![40.0, 55.0], vec![48.0, 63.0]),
+        Rect::new(vec![15.0, 10.0], vec![21.0, 16.0]),
+    ]);
+    let engine = ExtractionEngine::from_arc(Arc::clone(&view), IndexKind::Grid);
+    let mut s = ExplorationSession::new(
+        config,
+        engine,
+        Arc::clone(&view),
+        target,
+        Xoshiro256pp::seed_from_u64(12),
+    );
+    for _ in 0..30 {
+        s.run_iteration();
+    }
+    let labeled = s.labeled();
+    let mut h: u64 = 0xcbf29ce484222325;
+    for i in 0..labeled.len() {
+        fnv1a(&mut h, &labeled.row_id(i).to_le_bytes());
+        fnv1a(&mut h, &[labeled.labels()[i] as u8]);
+    }
+    let sql = s.predicted_selection("sky").to_sql();
+    fnv1a(&mut h, sql.as_bytes());
+    let last = s.history().last().unwrap();
+    let fp = Fingerprint {
+        labeled: labeled.len(),
+        relevant: last.relevant_labeled,
+        f_bits: last.f_measure.to_bits(),
+        hash: h,
+        queries_total: s.history().iter().map(|r| r.extraction.queries).sum(),
+    };
+    (s, fp)
+}
+
+fn assert_fp(got: &Fingerprint, want: &Fingerprint) {
+    assert_eq!(got.labeled, want.labeled, "label count drifted");
+    assert_eq!(got.relevant, want.relevant, "relevant count drifted");
+    assert_eq!(
+        got.f_bits, want.f_bits,
+        "F-measure bits drifted: {:#x} vs {:#x}",
+        got.f_bits, want.f_bits
+    );
+    assert_eq!(
+        got.hash, want.hash,
+        "label-sequence/SQL hash drifted: {:#x} vs {:#x}",
+        got.hash, want.hash
+    );
+    assert_eq!(
+        got.queries_total, want.queries_total,
+        "extraction-query count drifted (batching must not over-query)"
+    );
+}
+
+#[test]
+fn grid_session_matches_pre_batching_serial_fingerprint() {
+    let (s, fp) = run_session(SessionConfig::default());
+    assert_fp(
+        &fp,
+        &Fingerprint {
+            labeled: 598,
+            relevant: 55,
+            f_bits: 0x3feb2c0397cdb2c0,
+            hash: 0xd5216dd22857e5a1,
+            queries_total: 902,
+        },
+    );
+    // The cache is on by default and observable: repeated probes (density
+    // rectangles, re-expanded sampling areas) hit, and the session cost
+    // summary reports the rate.
+    let totals = s.result().extraction_totals();
+    assert!(totals.cache_hits > 0, "no cache hit across a whole session");
+    assert_eq!(totals.cache_hits + totals.cache_misses, totals.queries);
+    assert!(s.result().cost_summary().contains("hit rate"));
+}
+
+#[test]
+fn cluster_session_matches_pre_batching_serial_fingerprint() {
+    let (_, fp) = run_session(SessionConfig {
+        discovery_strategy: DiscoveryStrategy::Clustering,
+        ..SessionConfig::default()
+    });
+    assert_fp(
+        &fp,
+        &Fingerprint {
+            labeled: 598,
+            relevant: 52,
+            f_bits: 0x3feecccccccccccd,
+            hash: 0x38c2a2064a4a9ef1,
+            queries_total: 499,
+        },
+    );
+}
+
+#[test]
+fn hybrid_session_matches_pre_batching_serial_fingerprint() {
+    let (_, fp) = run_session(SessionConfig {
+        discovery_strategy: DiscoveryStrategy::Hybrid,
+        hybrid_switch_after: 8,
+        hybrid_min_hit_rate: 0.3,
+        ..SessionConfig::default()
+    });
+    assert_fp(
+        &fp,
+        &Fingerprint {
+            labeled: 600,
+            relevant: 77,
+            f_bits: 0x3fee79e79e79e79e,
+            hash: 0xa1bc5285a79b7aa1,
+            queries_total: 764,
+        },
+    );
+}
+
+#[test]
+fn adaptive_session_matches_pre_batching_serial_fingerprint() {
+    let (_, fp) = run_session(SessionConfig {
+        adaptive_misclass_y: true,
+        clustered_misclassified: false,
+        misclass_retire_after: 2,
+        eval_every: 3,
+        ..SessionConfig::default()
+    });
+    assert_fp(
+        &fp,
+        &Fingerprint {
+            labeled: 600,
+            relevant: 59,
+            f_bits: 0x3fee43112cfbe91a,
+            hash: 0x33205235fe9a270a,
+            queries_total: 869,
+        },
+    );
+}
+
+#[test]
+fn disabling_the_region_cache_changes_costs_but_not_labels() {
+    // `region_cache: false` restores the pre-cache accounting (every
+    // query re-examines tuples) while the labels, model and query counts
+    // stay bit-identical — the cache is purely a cost optimization.
+    let (cached, fp_cached) = run_session(SessionConfig::default());
+    let (plain, fp_plain) = run_session(SessionConfig {
+        region_cache: false,
+        ..SessionConfig::default()
+    });
+    assert_eq!(fp_cached.hash, fp_plain.hash);
+    assert_eq!(fp_cached.f_bits, fp_plain.f_bits);
+    assert_eq!(fp_cached.queries_total, fp_plain.queries_total);
+    let t_cached = cached.result().extraction_totals();
+    let t_plain = plain.result().extraction_totals();
+    assert_eq!(t_plain.cache_hits, 0);
+    assert_eq!(t_plain.cache_misses, 0);
+    assert!(
+        t_cached.tuples_examined < t_plain.tuples_examined,
+        "the cache saved no work: {} vs {}",
+        t_cached.tuples_examined,
+        t_plain.tuples_examined
+    );
+}
