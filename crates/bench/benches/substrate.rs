@@ -14,6 +14,7 @@ use aide_testkit::bench::{black_box, Harness};
 use aide_util::geom::Rect;
 use aide_util::par::Pool;
 use aide_util::rng::{Rng, Xoshiro256pp};
+use aide_util::trace::Tracer;
 
 fn training_set(n: usize, seed: u64) -> (Vec<f64>, Vec<bool>) {
     let mut rng = Xoshiro256pp::seed_from_u64(seed);
@@ -164,6 +165,36 @@ fn main() {
         check.stats().cache_hits >= 1,
         "warm query_batch produced no cache hits"
     );
+
+    // --- Tracing overhead -----------------------------------------------------
+    // The disabled tracer must cost one branch per batch call: the
+    // `disabled` and `enabled` pair run the same 48-rect batch (cache off,
+    // so every call does real extraction work) and differ only in the
+    // tracer wired into the engine. `emit_only` prices the emission path
+    // itself — ring-buffer push of a typical wave event, no extraction.
+    let mut group = h.group("substrate/trace");
+    for (name, tracer) in [("disabled", Tracer::disabled()), ("enabled", Tracer::new())] {
+        let mut engine = ExtractionEngine::from_arc(Arc::clone(&view), IndexKind::Grid);
+        engine.set_cache_enabled(false);
+        engine.set_tracer(tracer);
+        let rects = fn_rects.clone();
+        group.bench(&format!("query_batch_48rects/{name}"), move || {
+            engine.query_batch(black_box(&rects))
+        });
+    }
+    let emitter = Tracer::ring(1 << 10);
+    group.bench("emit_only/wave_event", move || {
+        emitter.wave(
+            black_box(48),
+            black_box(48),
+            black_box(12),
+            black_box(36),
+            black_box(4_096),
+            black_box(1_024),
+            black_box(1_500),
+        );
+    });
+    drop(group);
 
     // --- SQL evaluation over the column store --------------------------------
     let mut group = h.group("substrate/sql_eval");

@@ -147,6 +147,19 @@ pub fn exploit_boundaries(
         }
     }
 
+    if engine.tracer().is_enabled() {
+        use aide_util::trace::Value;
+        engine.tracer().emit_scoped(
+            "boundary_plan",
+            vec![
+                ("regions", Value::from(regions.len())),
+                ("faces", Value::from(faces_total)),
+                ("candidates", Value::from(candidates.len())),
+                ("budget", Value::from(remaining)),
+            ],
+        );
+    }
+
     // Budget-bounded waves over the candidate faces (same scheme as the
     // misclassified phase): each wave is the optimistic maximum-
     // consumption prefix, so every wave member is a face the serial loop

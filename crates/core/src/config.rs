@@ -3,6 +3,7 @@
 
 use aide_ml::TreeParams;
 use aide_util::geom::Rect;
+use aide_util::trace::Tracer;
 
 /// Which object-discovery strategy to run (paper §3, §3.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -160,6 +161,14 @@ pub struct SessionConfig {
     /// pre-cache cost accounting (every query re-examines tuples) — the
     /// returned samples and labels are identical either way.
     pub region_cache: bool,
+    /// Structured tracing handle ([`aide_util::trace`]). Disabled by
+    /// default: every emission is one branch and the session behaves
+    /// exactly as untraced. An enabled tracer records span, wave, eval
+    /// and pool events into its ring buffer; drain or serialize it after
+    /// the session (`aide explore --trace out.jsonl` does both). Event
+    /// content (everything but wall-clock fields) is bit-identical for
+    /// any `threads` / `AIDE_THREADS` setting.
+    pub tracer: Tracer,
 }
 
 impl Default for SessionConfig {
@@ -203,6 +212,7 @@ impl Default for SessionConfig {
             eval_every: 1,
             threads: 0,
             region_cache: true,
+            tracer: Tracer::disabled(),
         }
     }
 }

@@ -76,6 +76,21 @@ impl DiscoveryPhase {
         excluded: &HashSet<u32>,
         rng: &mut Xoshiro256pp,
     ) -> Vec<Proposal> {
+        if engine.tracer().is_enabled() {
+            let strategy = match self {
+                DiscoveryPhase::Grid(_) => "grid",
+                DiscoveryPhase::Cluster(_) => "clustering",
+                DiscoveryPhase::Hybrid(_) => "hybrid",
+            };
+            engine.tracer().emit_scoped(
+                "discovery_plan",
+                vec![
+                    ("strategy", aide_util::trace::Value::from(strategy)),
+                    ("pending_areas", aide_util::trace::Value::from(self.pending_areas())),
+                    ("budget", aide_util::trace::Value::from(budget)),
+                ],
+            );
+        }
         match self {
             DiscoveryPhase::Grid(g) => g.propose(budget, engine, excluded, rng),
             DiscoveryPhase::Cluster(c) => c.propose(budget, engine, excluded, rng),

@@ -5,9 +5,12 @@
 //! database is classified by the model and compared against the target
 //! query's ground truth.
 
+use std::time::Instant;
+
 use aide_data::NumericView;
 use aide_ml::{ConfusionMatrix, DecisionTree};
 use aide_util::par::Pool;
+use aide_util::trace::{Tracer, Value};
 
 use crate::target::TargetQuery;
 
@@ -63,6 +66,38 @@ pub fn evaluate_model_with(
             acc
         },
     )
+}
+
+/// [`evaluate_model_with`] plus an `eval` trace event: the full-view
+/// F-measure snapshot (F, precision, recall) together with the model's
+/// size (leaves, depth — 0/0 for the no-model case) and the evaluation
+/// wall-clock time. The returned matrix is identical to the untraced
+/// call; a disabled tracer adds one branch.
+pub fn evaluate_model_traced(
+    model: Option<&DecisionTree>,
+    view: &NumericView,
+    target: &TargetQuery,
+    pool: &Pool,
+    tracer: &Tracer,
+) -> ConfusionMatrix {
+    let start = Instant::now();
+    let matrix = evaluate_model_with(model, view, target, pool);
+    if tracer.is_enabled() {
+        let (leaves, depth) = model.map_or((0, 0), |t| (t.num_leaves(), t.depth()));
+        tracer.emit_scoped(
+            "eval",
+            vec![
+                ("points", Value::from(matrix.total())),
+                ("f", Value::from(matrix.f_measure())),
+                ("precision", Value::from(matrix.precision())),
+                ("recall", Value::from(matrix.recall())),
+                ("tree_leaves", Value::from(leaves)),
+                ("tree_depth", Value::from(depth)),
+                ("dur_us", Value::from(start.elapsed().as_micros() as u64)),
+            ],
+        );
+    }
+    matrix
 }
 
 #[cfg(test)]

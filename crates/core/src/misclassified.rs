@@ -136,6 +136,20 @@ pub fn exploit_misclassified(
             .collect()
     };
 
+    if engine.tracer().is_enabled() {
+        use aide_util::trace::Value;
+        engine.tracer().emit_scoped(
+            "misclass_plan",
+            vec![
+                ("fns", Value::from(false_negatives.len())),
+                ("areas", Value::from(areas.len())),
+                ("clustered", Value::from(outcome.clustered)),
+                ("y", Value::from(y)),
+                ("budget", Value::from(budget)),
+            ],
+        );
+    }
+
     // Budget-bounded waves: each wave is the *optimistic* maximum-
     // consumption prefix of the remaining areas — assume every area
     // yields its full cap. Actual yield never exceeds the cap, so the

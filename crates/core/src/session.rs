@@ -20,13 +20,14 @@ use aide_index::{ExtractionEngine, ExtractionStats, IndexKind, Sample};
 use aide_ml::DecisionTree;
 use aide_query::Selection;
 use aide_util::geom::Rect;
-use aide_util::par::Pool;
+use aide_util::par::{take_chunk_stats, Pool};
 use aide_util::rng::Xoshiro256pp;
+use aide_util::trace::Value;
 
 use crate::boundary::exploit_boundaries;
 use crate::config::{SessionConfig, StopCondition};
 use crate::discovery::DiscoveryPhase;
-use crate::eval::evaluate_model_with;
+use crate::eval::evaluate_model_traced;
 use crate::labeled::LabeledSet;
 use crate::misclassified::exploit_misclassified;
 use crate::oracle::RelevanceOracle;
@@ -163,6 +164,12 @@ pub struct ExplorationSession {
     /// must call `refresh_eval` first instead of trusting a stale triple.
     eval_fresh: bool,
     pool: Pool,
+    /// Session construction time — the `session_end` trace event reports
+    /// the session's lifetime against this epoch.
+    started: Instant,
+    /// Whether `session_end` has been emitted (guards double emission
+    /// when `run` and `finish_trace` are both called).
+    trace_finished: bool,
 }
 
 impl std::fmt::Debug for ExplorationSession {
@@ -223,10 +230,33 @@ impl ExplorationSession {
         let discovery = DiscoveryPhase::new(&config, &engine, &mut rng);
         let dims = engine.view().dims();
         let pool = Pool::from_env(config.threads);
-        // The engine shares the session pool for its batch passes, and the
-        // session's cache toggle governs its region-result cache.
+        // The engine shares the session pool for its batch passes, the
+        // session's cache toggle governs its region-result cache, and the
+        // session's tracer receives the engine's per-wave events.
         engine.set_pool(pool);
         engine.set_cache_enabled(config.region_cache);
+        engine.set_tracer(config.tracer.clone());
+        if config.tracer.is_enabled() {
+            // Construction work (index build, discovery k-means) happened
+            // before the session span: clear the chunk counters so the
+            // first iteration's pool event covers only its own work.
+            let _ = take_chunk_stats();
+            let strategy = format!("{:?}", config.discovery_strategy).to_lowercase();
+            let index = format!("{:?}", engine.kind()).to_lowercase();
+            config.tracer.emit(
+                "session_start",
+                vec![
+                    ("rows", Value::from(engine.view().len())),
+                    ("eval_rows", Value::from(eval_view.len())),
+                    ("dims", Value::from(dims)),
+                    ("samples_per_iteration", Value::from(config.samples_per_iteration)),
+                    ("strategy", Value::from(strategy)),
+                    ("index", Value::from(index)),
+                    ("region_cache", Value::from(config.region_cache)),
+                    ("eval_every", Value::from(config.eval_every)),
+                ],
+            );
+        }
         Self {
             config,
             engine,
@@ -246,6 +276,8 @@ impl ExplorationSession {
             last_eval: (0.0, 0.0, 0.0),
             eval_fresh: true,
             pool,
+            started: Instant::now(),
+            trace_finished: false,
         }
     }
 
@@ -346,6 +378,10 @@ impl ExplorationSession {
     pub fn run_iteration(&mut self) -> &IterationReport {
         let start = Instant::now();
         self.engine.reset_stats();
+        // A cheap handle (one Option<Arc> clone) so emissions below don't
+        // fight the borrow checker over `self.config` vs `self.engine`.
+        let tracer = self.config.tracer.clone();
+        tracer.begin_iteration(self.iteration as u64);
         let budget = self.config.samples_per_iteration;
         let mut remaining = budget;
         let mut proposals: Vec<(Sample, Option<u64>, Phase)> = Vec::with_capacity(budget);
@@ -359,6 +395,8 @@ impl ExplorationSession {
             let dims = self.eval_view.dims();
             let regions = tree.relevant_regions(&Rect::full_domain(dims));
             if self.config.phases.misclassified && remaining > 0 {
+                tracer.begin_phase("misclassified");
+                let phase_start = Instant::now();
                 // Retire false negatives that repeated exploitation could
                 // not develop into areas: with a noisy oracle they are
                 // almost surely flipped labels, and sampling around them
@@ -395,15 +433,23 @@ impl ExplorationSession {
                     let row = self.labeled.row_id(i);
                     *self.fn_attempts.entry(row).or_insert(0) += 1;
                 }
-                remaining -= out.samples.len();
+                let taken = out.samples.len();
+                remaining -= taken;
                 misclass_queries = out.queries;
                 proposals.extend(
                     out.samples
                         .into_iter()
                         .map(|s| (s, None, Phase::Misclassified)),
                 );
+                tracer.end_phase(
+                    taken as u64,
+                    misclass_queries,
+                    phase_start.elapsed().as_micros() as u64,
+                );
             }
             if self.config.phases.boundary && remaining > 0 {
+                tracer.begin_phase("boundary");
+                let phase_start = Instant::now();
                 let out = exploit_boundaries(
                     &self.config,
                     &regions,
@@ -414,23 +460,39 @@ impl ExplorationSession {
                     self.labeled.seen_rows(),
                     &mut self.rng,
                 );
-                remaining -= out.samples.len();
+                let taken = out.samples.len();
+                remaining -= taken;
                 boundary_queries = out.queries;
                 boundary_slabs = out.slabs;
                 proposals.extend(out.samples.into_iter().map(|s| (s, None, Phase::Boundary)));
+                tracer.end_phase(
+                    taken as u64,
+                    boundary_queries,
+                    phase_start.elapsed().as_micros() as u64,
+                );
             }
             self.prev_regions = regions;
         }
         if self.config.phases.discovery && remaining > 0 {
+            tracer.begin_phase("discovery");
+            let phase_start = Instant::now();
+            let queries_before = self.engine.stats().queries;
             let disc = self.discovery.propose(
                 remaining,
                 &mut self.engine,
                 self.labeled.seen_rows(),
                 &mut self.rng,
             );
+            let discovery_queries = self.engine.stats().queries - queries_before;
+            let taken = disc.len();
             proposals.extend(
                 disc.into_iter()
                     .map(|p| (p.sample, p.token, Phase::Discovery)),
+            );
+            tracer.end_phase(
+                taken as u64,
+                discovery_queries,
+                phase_start.elapsed().as_micros() as u64,
             );
         }
         self.prev_slabs = boundary_slabs;
@@ -468,7 +530,13 @@ impl ExplorationSession {
         // --- Evaluate over the full data space ----------------------------
         if let Some(truth) = &self.ground_truth {
             if self.iteration.is_multiple_of(self.config.eval_every.max(1)) || new_samples == 0 {
-                let m = evaluate_model_with(self.tree.as_ref(), &self.eval_view, truth, &self.pool);
+                let m = evaluate_model_traced(
+                    self.tree.as_ref(),
+                    &self.eval_view,
+                    truth,
+                    &self.pool,
+                    &tracer,
+                );
                 self.last_eval = (m.f_measure(), m.precision(), m.recall());
                 self.eval_fresh = true;
             } else {
@@ -477,6 +545,34 @@ impl ExplorationSession {
         }
         let (f, p, r) = self.last_eval;
         let num_regions = self.relevant_regions().len();
+
+        if tracer.is_enabled() {
+            let (calls, chunks) = take_chunk_stats();
+            tracer.emit_scoped(
+                "pool",
+                vec![("calls", Value::from(calls)), ("chunks", Value::from(chunks))],
+            );
+            let stats = self.engine.stats();
+            tracer.emit_scoped(
+                "iter_end",
+                vec![
+                    ("new_samples", Value::from(new_samples)),
+                    ("discovery_samples", Value::from(counts[Phase::Discovery as usize])),
+                    ("misclass_samples", Value::from(counts[Phase::Misclassified as usize])),
+                    ("boundary_samples", Value::from(counts[Phase::Boundary as usize])),
+                    ("total_labeled", Value::from(self.labeled.len())),
+                    ("relevant_labeled", Value::from(self.labeled.relevant_count())),
+                    ("num_regions", Value::from(num_regions)),
+                    ("queries", Value::from(stats.queries)),
+                    ("tuples_examined", Value::from(stats.tuples_examined)),
+                    ("tuples_returned", Value::from(stats.tuples_returned)),
+                    ("cache_hits", Value::from(stats.cache_hits)),
+                    ("cache_misses", Value::from(stats.cache_misses)),
+                    ("cached_regions", Value::from(self.engine.cached_regions())),
+                    ("dur_us", Value::from(start.elapsed().as_micros() as u64)),
+                ],
+            );
+        }
 
         let report = IterationReport {
             iteration: self.iteration,
@@ -511,7 +607,13 @@ impl ExplorationSession {
         let Some(truth) = &self.ground_truth else {
             return;
         };
-        let m = evaluate_model_with(self.tree.as_ref(), &self.eval_view, truth, &self.pool);
+        let m = evaluate_model_traced(
+            self.tree.as_ref(),
+            &self.eval_view,
+            truth,
+            &self.pool,
+            &self.config.tracer,
+        );
         self.last_eval = (m.f_measure(), m.precision(), m.recall());
         self.eval_fresh = true;
         if let Some(last) = self.history.last_mut() {
@@ -525,6 +627,29 @@ impl ExplorationSession {
 
     /// Runs iterations until the stop condition fires (or exploration
     /// stalls: three consecutive iterations without a single new sample).
+    /// Closes the trace's session span: refreshes the evaluation and
+    /// emits the `session_end` event (once — later calls are no-ops).
+    /// [`run`] calls this automatically; call it yourself when driving
+    /// [`run_iteration`] manually with an enabled tracer, before
+    /// draining or serializing the trace, so the stream nests correctly
+    /// (`trace_report.py --validate` requires a closed session span).
+    pub fn finish_trace(&mut self) {
+        if !self.config.tracer.is_enabled() || self.trace_finished {
+            return;
+        }
+        self.refresh_eval();
+        self.config.tracer.emit(
+            "session_end",
+            vec![
+                ("iterations", Value::from(self.iteration)),
+                ("total_labeled", Value::from(self.labeled.len())),
+                ("final_f", Value::from(self.last_eval.0)),
+                ("dur_us", Value::from(self.started.elapsed().as_micros() as u64)),
+            ],
+        );
+        self.trace_finished = true;
+    }
+
     pub fn run(&mut self, stop: StopCondition) -> SessionResult {
         let mut stalled = 0usize;
         while self.iteration < stop.max_iterations {
@@ -549,6 +674,7 @@ impl ExplorationSession {
         // The reported final F must measure the final model even when the
         // last iteration skipped its evaluation.
         self.refresh_eval();
+        self.finish_trace();
         self.result()
     }
 

@@ -43,6 +43,25 @@ pub struct CacheStats {
 }
 
 /// A never-invalidated map from canonical rectangle key to query result.
+///
+/// ```
+/// use std::sync::Arc;
+/// use aide_index::{QueryOutput, RegionCache};
+/// use aide_util::geom::Rect;
+///
+/// let mut cache = RegionCache::new();
+/// let rect = Rect::new(vec![0.0, 0.0], vec![1.0, 1.0]);
+/// assert!(cache.get_query(&rect.key()).is_none()); // miss
+///
+/// cache.put_query(&rect, Arc::new(QueryOutput { indices: vec![3, 8], examined: 40 }));
+/// // Keyed on the exact f64 bit pattern: the same bounds hit…
+/// assert_eq!(cache.get_query(&rect.key()).unwrap().indices, vec![3, 8]);
+/// // …and a full query result serves count lookups for free.
+/// assert_eq!(cache.get_count(&rect.key()).unwrap().count, 2);
+/// // A bit-different rectangle is a different region: miss.
+/// let nudged = Rect::new(vec![0.0, 0.0], vec![1.0 + f64::EPSILON, 1.0]);
+/// assert!(cache.get_query(&nudged.key()).is_none());
+/// ```
 #[derive(Debug, Default)]
 pub struct RegionCache {
     entries: HashMap<RectKey, Entry>,

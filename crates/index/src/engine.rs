@@ -31,6 +31,7 @@ use aide_data::NumericView;
 use aide_util::geom::{Rect, RectKey};
 use aide_util::par::Pool;
 use aide_util::rng::{Rng, Xoshiro256pp};
+use aide_util::trace::Tracer;
 
 use crate::{
     CountOutput, GridIndex, KdTree, QueryOutput, RegionCache, RegionIndex, ScanIndex, SortedIndex,
@@ -105,6 +106,7 @@ pub struct ExtractionEngine {
     pool: Pool,
     cache: RegionCache,
     cache_enabled: bool,
+    tracer: Tracer,
 }
 
 impl std::fmt::Debug for ExtractionEngine {
@@ -152,6 +154,7 @@ impl ExtractionEngine {
             pool: *pool,
             cache: RegionCache::new(),
             cache_enabled: true,
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -179,6 +182,19 @@ impl ExtractionEngine {
     /// bit-identical for any pool size; only wall-clock time changes.
     pub fn set_pool(&mut self, pool: Pool) {
         self.pool = pool;
+    }
+
+    /// The tracer batch calls emit `wave` events to (disabled by default).
+    /// Exploration phases also borrow it for their plan events.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Installs a tracer handle. Batch entry points emit one `wave` event
+    /// per call with this wave's stat deltas; a disabled tracer costs one
+    /// branch per batch.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Whether the region cache is consulted (on by default).
@@ -224,6 +240,27 @@ impl ExtractionEngine {
         if self.cache_enabled {
             self.stats.cache_misses += 1;
         }
+    }
+
+    /// Emits one `wave` trace event carrying this batch call's stat
+    /// deltas. The deltas and the event count are pure functions of the
+    /// submitted rectangles and the cache state — never of the thread
+    /// count — so traced content stays deterministic. One branch when the
+    /// tracer is disabled.
+    fn trace_wave(&self, rects: usize, before: ExtractionStats, start: Instant) {
+        if !self.tracer.is_enabled() || rects == 0 {
+            return;
+        }
+        let now = self.stats;
+        self.tracer.wave(
+            rects as u64,
+            now.queries - before.queries,
+            now.cache_hits - before.cache_hits,
+            now.cache_misses - before.cache_misses,
+            now.tuples_examined - before.tuples_examined,
+            now.tuples_returned - before.tuples_returned,
+            start.elapsed().as_micros() as u64,
+        );
     }
 
     /// The cached query path every single-rect entry point routes through.
@@ -380,6 +417,7 @@ impl ExtractionEngine {
     /// index, again matching the serial loop.
     pub fn query_batch_outputs(&mut self, rects: &[Rect]) -> Vec<Arc<QueryOutput>> {
         let start = Instant::now();
+        let before = self.stats;
         let mut results: Vec<Option<Arc<QueryOutput>>> = vec![None; rects.len()];
         // dup_of[i] = earlier batch position with a bit-identical rect.
         let mut dup_of: Vec<Option<usize>> = vec![None; rects.len()];
@@ -427,6 +465,7 @@ impl ExtractionEngine {
             }
         }
         self.stats.elapsed += start.elapsed();
+        self.trace_wave(rects.len(), before, start);
         results
             .into_iter()
             .map(|r| r.expect("every rect resolved"))
@@ -435,6 +474,30 @@ impl ExtractionEngine {
 
     /// Batch variant of [`ExtractionEngine::query_in`]: all matching view
     /// indices per rectangle, in input order, answered in one pool pass.
+    ///
+    /// ```
+    /// use aide_data::view::{Domain, NumericView, SpaceMapper};
+    /// use aide_index::{ExtractionEngine, IndexKind};
+    /// use aide_util::geom::Rect;
+    ///
+    /// let mapper = SpaceMapper::new(
+    ///     vec!["x".into(), "y".into()],
+    ///     vec![Domain::new(0.0, 10.0); 2],
+    /// );
+    /// let data = vec![1.0, 1.0, 5.0, 5.0, 9.0, 9.0]; // three 2-D points
+    /// let view = NumericView::new(mapper, data, vec![0, 1, 2]);
+    /// let mut engine = ExtractionEngine::new(view, IndexKind::Grid);
+    ///
+    /// let rects = vec![
+    ///     Rect::new(vec![0.0, 0.0], vec![6.0, 6.0]),
+    ///     Rect::new(vec![4.0, 4.0], vec![10.0, 10.0]),
+    /// ];
+    /// // One pool pass; results in input order, identical to a serial
+    /// // loop of `query_in` calls (costs included) for any thread count.
+    /// let results = engine.query_batch(&rects);
+    /// assert_eq!(results, vec![vec![0, 1], vec![1, 2]]);
+    /// assert_eq!(engine.stats().queries, 2);
+    /// ```
     pub fn query_batch(&mut self, rects: &[Rect]) -> Vec<Vec<u32>> {
         self.query_batch_outputs(rects)
             .into_iter()
@@ -447,6 +510,7 @@ impl ExtractionEngine {
     /// duplicate handling as [`ExtractionEngine::query_batch_outputs`].
     pub fn count_batch(&mut self, rects: &[Rect]) -> Vec<usize> {
         let start = Instant::now();
+        let before = self.stats;
         let mut results: Vec<Option<CountOutput>> = vec![None; rects.len()];
         let mut dup_of: Vec<Option<usize>> = vec![None; rects.len()];
         let mut misses: Vec<usize> = Vec::new();
@@ -489,6 +553,7 @@ impl ExtractionEngine {
             }
         }
         self.stats.elapsed += start.elapsed();
+        self.trace_wave(rects.len(), before, start);
         results
             .into_iter()
             .map(|r| r.expect("every rect resolved").count)
@@ -780,6 +845,40 @@ mod tests {
             runs.push(got);
         }
         assert_eq!(runs[0], runs[1]);
+    }
+
+    #[test]
+    fn batch_calls_emit_one_wave_event_with_stat_deltas() {
+        use aide_util::trace::{Tracer, Value};
+        let view = grid_view(10);
+        let mut engine = ExtractionEngine::new(view, IndexKind::Grid);
+        let tracer = Tracer::ring(64);
+        engine.set_tracer(tracer.clone());
+        let rects = vec![Rect::full_domain(2), Rect::full_domain(2)];
+        engine.query_batch(&rects); // miss + within-batch hit
+        engine.count_batch(&rects); // both hits (count served off query entries)
+        let events = tracer.drain();
+        assert_eq!(events.len(), 2, "one wave per batch call, none for singles");
+        assert_eq!(events[0].kind, "wave");
+        let field = |e: &aide_util::trace::Event, name: &str| {
+            e.fields
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, v)| v.clone())
+                .expect("field present")
+        };
+        assert_eq!(field(&events[0], "rects"), Value::U64(2));
+        assert_eq!(field(&events[0], "queries"), Value::U64(2));
+        assert_eq!(field(&events[0], "cache_hits"), Value::U64(1));
+        assert_eq!(field(&events[0], "cache_misses"), Value::U64(1));
+        assert_eq!(field(&events[1], "cache_hits"), Value::U64(2));
+        assert_eq!(field(&events[1], "tuples_examined"), Value::U64(0));
+        // Wave counter advances within the ambient phase.
+        assert_eq!(field(&events[0], "wave"), Value::U64(0));
+        assert_eq!(field(&events[1], "wave"), Value::U64(1));
+        // Empty batches stay silent.
+        engine.query_batch(&[]);
+        assert!(tracer.drain().is_empty());
     }
 
     #[test]

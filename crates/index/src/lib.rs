@@ -18,6 +18,8 @@
 //!   per-session counters for extraction queries, tuples examined and
 //!   wall-clock time (the paper's "sample extraction time").
 
+#![deny(missing_docs)]
+
 pub mod cache;
 pub mod engine;
 pub mod grid;

@@ -17,7 +17,10 @@
 //!   by the evaluation harness;
 //! * [`par`] — a dependency-free scoped worker pool whose chunked
 //!   map/reduce is bit-identical to a serial run for any thread count, so
-//!   parallelism never breaks replayability.
+//!   parallelism never breaks replayability;
+//! * [`trace`] — a zero-dependency structured tracing layer: ring-buffered
+//!   typed events serialized to JSONL (schema `aide-trace/1`), with
+//!   deterministic (timing-stripped) content across thread counts.
 //!
 //! ```
 //! use aide_util::rng::{Rng, Xoshiro256pp};
@@ -28,14 +31,18 @@
 //! assert_eq!(a.uniform(0.0, 100.0), b.uniform(0.0, 100.0));
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod dist;
 pub mod geom;
 pub mod par;
 pub mod rng;
 pub mod stats;
+pub mod trace;
 
 pub use dist::{Normal, TruncatedNormal, Zipf};
 pub use geom::Rect;
 pub use par::Pool;
 pub use rng::{Rng, SeedStream, SplitMix64, Xoshiro256pp};
 pub use stats::{quantile, Histogram, OnlineStats, Summary};
+pub use trace::{Event, Tracer, Value};

@@ -21,15 +21,60 @@
 //! 1 is the escape hatch: every combinator runs its chunks inline on the
 //! calling thread, in order, with no thread ever spawned.
 
+use std::cell::Cell;
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+thread_local! {
+    // Per-caller-thread chunked-dispatch counters, drained by
+    // `take_chunk_stats`. They are recorded at the top of
+    // `par_map_reduce` (the single chunked entry point; `par_map_collect`
+    // delegates to it), so the totals depend only on `(len, chunk_size)`
+    // per call — identical for any thread count.
+    static CHUNK_STATS: Cell<(u64, u64)> = const { Cell::new((0, 0)) };
+}
+
+/// Drains this thread's chunked-dispatch counters: `(calls, chunks)`
+/// accumulated by [`Pool::par_map_reduce`] (and everything that delegates
+/// to it) since the last call.
+///
+/// Both numbers are a pure function of the work submitted — chunk
+/// decomposition never depends on the thread count — so they are safe to
+/// record in deterministic trace events. The counters are thread-local to
+/// the *calling* thread of the pool combinators (the session thread), not
+/// to the workers.
+pub fn take_chunk_stats() -> (u64, u64) {
+    CHUNK_STATS.with(|c| c.replace((0, 0)))
+}
 
 /// A scoped worker pool with a fixed thread count.
 ///
 /// `Pool` holds no threads itself — each combinator call opens a
 /// [`std::thread::scope`], so borrowed data can flow into the closures
 /// without `'static` bounds and nothing outlives the call.
+///
+/// The determinism contract: chunk boundaries depend only on
+/// `(len, chunk_size)` and the reduction folds in chunk-index order, so
+/// the result is bit-identical for any thread count — even for
+/// non-associative reductions like floating-point sums.
+///
+/// ```
+/// use aide_util::par::Pool;
+///
+/// let data: Vec<f64> = (0..10_000).map(|i| (i as f64).sin()).collect();
+/// let sum = |pool: &Pool| {
+///     pool.par_map_reduce(
+///         data.len(),
+///         256,                                  // chunk size
+///         |range| data[range].iter().sum::<f64>(), // map: one chunk
+///         0.0_f64,
+///         |acc, part| acc + part,               // reduce: chunk-index order
+///     )
+/// };
+/// // Bit-identical, not approximately equal.
+/// assert_eq!(sum(&Pool::serial()).to_bits(), sum(&Pool::new(4)).to_bits());
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Pool {
     threads: usize,
@@ -102,6 +147,10 @@ impl Pool {
     {
         assert!(chunk_size > 0, "chunk_size must be positive");
         let chunks = len.div_ceil(chunk_size);
+        CHUNK_STATS.with(|c| {
+            let (calls, total) = c.get();
+            c.set((calls + 1, total + chunks as u64));
+        });
         let range_of = |c: usize| c * chunk_size..((c + 1) * chunk_size).min(len);
         let mut acc = init;
         if self.threads == 1 || chunks <= 1 {
@@ -267,6 +316,21 @@ mod tests {
         assert!(resolve_threads(None, 0) >= 1, "auto resolves to at least one");
         assert!(Pool::new(0).threads() >= 1);
         assert!(Pool::serial().is_serial());
+    }
+
+    #[test]
+    fn chunk_stats_are_thread_count_invariant() {
+        let run = |threads: usize| {
+            let pool = Pool::new(threads);
+            let _ = take_chunk_stats(); // reset anything earlier tests left
+            let _ = pool.par_map_collect(1_000, 64, |r| r.collect::<Vec<_>>());
+            let _ = pool.par_map_reduce(10, 3, |r| r.len(), 0usize, |a, b| a + b);
+            take_chunk_stats()
+        };
+        let serial = run(1);
+        assert_eq!(serial, (2, 16 + 4), "collect delegates to map_reduce once");
+        assert_eq!(run(4), serial, "chunk stats are pure in (len, chunk_size)");
+        assert_eq!(take_chunk_stats(), (0, 0), "drained");
     }
 
     #[test]

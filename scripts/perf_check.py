@@ -26,14 +26,29 @@ baseline on a quiet machine and commit it:
 Keep the justification in the commit message; the perf job treats the
 committed file as ground truth.
 
+Trend storage
+-------------
+
+Every comparison run also appends one ``aide-trend/1`` JSON line — a
+timestamp plus the full name→median map — to ``BENCH_trend.jsonl``
+(``--no-record`` skips it, ``--label`` overrides the timestamp). The
+file is append-only, local and gitignored: it accumulates a per-machine
+history across runs, which a single committed baseline cannot give.
+
+    python3 scripts/perf_check.py --trend
+
+renders the history per bench: run count, first/best/worst/latest
+medians, and the latest-vs-first ratio, flagging any bench that drifted
+past the threshold even though every individual run stayed under it.
+
 Self-test
 ---------
 
 ``--self-test`` exercises the checker against synthetic data — a clean
 pair that must pass and a pair with an injected 10x regression that must
-fail — and exits nonzero if either behaves wrong. CI runs it before the
-real comparison so a broken checker cannot silently wave regressions
-through. No bench results are needed.
+fail, plus a trend-storage round-trip — and exits nonzero if anything
+behaves wrong. CI runs it before the real comparison so a broken checker
+cannot silently wave regressions through. No bench results are needed.
 """
 
 from __future__ import annotations
@@ -44,6 +59,7 @@ import sys
 from pathlib import Path
 
 SCHEMA = "aide-bench/1"
+TREND_SCHEMA = "aide-trend/1"
 
 
 def load_records(lines, source):
@@ -105,6 +121,62 @@ def compare(baseline, fresh, threshold):
     return regressions, lines
 
 
+def record_trend(trend_file: Path, medians, label):
+    """Append one aide-trend/1 record (label + full median map)."""
+    rec = {
+        "schema": TREND_SCHEMA,
+        "run": label,
+        "medians": {name: medians[name] for name in sorted(medians)},
+    }
+    with open(trend_file, "a") as fh:
+        fh.write(json.dumps(rec) + "\n")
+
+
+def load_trend(trend_file: Path):
+    """Read the trend history; returns a list of records, oldest first."""
+    if not trend_file.exists():
+        raise SystemExit(
+            f"no trend history at {trend_file} — comparison runs append to it"
+        )
+    runs = []
+    for lineno, line in enumerate(trend_file.read_text().splitlines(), 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError as e:
+            raise SystemExit(f"{trend_file}:{lineno}: invalid JSON: {e}")
+        if rec.get("schema") != TREND_SCHEMA:
+            raise SystemExit(
+                f"{trend_file}:{lineno}: schema {rec.get('schema')!r}, want {TREND_SCHEMA!r}"
+            )
+        runs.append(rec)
+    if not runs:
+        raise SystemExit(f"{trend_file}: empty trend history")
+    return runs
+
+
+def trend_report(runs, threshold):
+    """Per-bench history lines plus names that drifted past the threshold."""
+    benches = sorted({name for rec in runs for name in rec["medians"]})
+    lines = [f"trend: {len(runs)} run(s), {runs[0]['run']} .. {runs[-1]['run']}"]
+    drifted = []
+    for name in benches:
+        series = [rec["medians"][name] for rec in runs if name in rec["medians"]]
+        first, latest = series[0], series[-1]
+        ratio = latest / first
+        flag = "DRIFT" if ratio > threshold else "ok   "
+        if ratio > threshold:
+            drifted.append((name, ratio))
+        lines.append(
+            f"  [{flag}] {name}: {len(series)} run(s), first {first:.0f} ns, "
+            f"best {min(series):.0f}, worst {max(series):.0f}, "
+            f"latest {latest:.0f} ({ratio:.2f}x vs first)"
+        )
+    return drifted, lines
+
+
 def self_test(threshold):
     baseline = {"substrate/a": 1000.0, "substrate/b": 2000.0}
     clean = {"substrate/a": 1100.0, "substrate/b": 1900.0, "substrate/new": 50.0}
@@ -118,7 +190,25 @@ def self_test(threshold):
     if [name for name, _ in regressions] != ["substrate/b"]:
         print(f"self-test FAILED: injected regression not caught: {regressions}", file=sys.stderr)
         return 1
-    print(f"self-test ok: clean pair passes, injected 10x regression fails (threshold {threshold}x)")
+    # Trend storage round-trip: two appended runs, slow drift detected.
+    import tempfile
+    with tempfile.NamedTemporaryFile("w", suffix=".jsonl", delete=False) as fh:
+        trend_path = Path(fh.name)
+    try:
+        record_trend(trend_path, baseline, "run-1")
+        record_trend(trend_path, injected, "run-2")
+        runs = load_trend(trend_path)
+        if [r["run"] for r in runs] != ["run-1", "run-2"]:
+            print(f"self-test FAILED: trend round-trip lost runs: {runs}", file=sys.stderr)
+            return 1
+        drifted, _ = trend_report(runs, threshold)
+        if [name for name, _ in drifted] != ["substrate/b"]:
+            print(f"self-test FAILED: trend drift not caught: {drifted}", file=sys.stderr)
+            return 1
+    finally:
+        trend_path.unlink()
+    print(f"self-test ok: clean pair passes, injected 10x regression fails, "
+          f"trend round-trip detects drift (threshold {threshold}x)")
     return 0
 
 
@@ -132,10 +222,29 @@ def main():
                     help="overwrite the baseline file with the fresh results and exit")
     ap.add_argument("--self-test", action="store_true",
                     help="verify the checker itself catches an injected regression")
+    ap.add_argument("--trend-file", type=Path, default=Path("BENCH_trend.jsonl"),
+                    help="append-only per-machine median history (default BENCH_trend.jsonl)")
+    ap.add_argument("--trend", action="store_true",
+                    help="render the trend history and exit (fails on drift past threshold)")
+    ap.add_argument("--no-record", action="store_true",
+                    help="skip appending this comparison's medians to the trend file")
+    ap.add_argument("--label", default=None,
+                    help="trend record label (default: UTC timestamp)")
     args = ap.parse_args()
 
     if args.self_test:
         sys.exit(self_test(args.threshold))
+
+    if args.trend:
+        drifted, lines = trend_report(load_trend(args.trend_file), args.threshold)
+        print("\n".join(lines))
+        if drifted:
+            worst = ", ".join(f"{n} ({r:.2f}x)" for n, r in drifted)
+            print(f"\nDRIFT: {len(drifted)} bench(es) past {args.threshold}x "
+                  f"vs their first recorded run: {worst}", file=sys.stderr)
+            sys.exit(1)
+        print("\nok: no bench drifted past the threshold across the history")
+        return
 
     if args.rebaseline:
         records = []
@@ -150,6 +259,11 @@ def main():
 
     baseline = load_records(args.baseline.read_text().splitlines(), str(args.baseline))
     fresh = load_dir(args.results)
+    if not args.no_record:
+        from datetime import datetime, timezone
+        label = args.label or datetime.now(timezone.utc).isoformat(timespec="seconds")
+        record_trend(args.trend_file, fresh, label)
+        print(f"recorded {len(fresh)} medians to {args.trend_file} as {label!r}")
     regressions, lines = compare(baseline, fresh, args.threshold)
     print(f"perf check: {len(fresh)} fresh vs {len(baseline)} baseline benches "
           f"(threshold {args.threshold}x)")

@@ -3,6 +3,8 @@
 //! ```text
 //! aide generate --dataset sdss --rows 100000 --out sky.csv
 //! aide explore  --csv sky.csv --attrs rowc,colc
+//! aide explore  --csv sky.csv --attrs rowc,colc \
+//!               --target "820,1230:1000,1400" --trace session.jsonl
 //! aide query    --csv sky.csv --sql "SELECT * FROM data WHERE rowc < 500"
 //! aide simplify --sql "SELECT * FROM t WHERE a >= 1 AND a >= 2"
 //! ```
@@ -10,18 +12,27 @@
 //! `explore` runs the steering loop of the paper: each round extracts a
 //! small batch of strategically chosen rows, asks for `y`/`n` labels on
 //! stdin (one per row; `q` finishes), and prints the refined SQL query.
+//! With `--target` a simulated user defined by raw-coordinate
+//! rectangles answers instead of stdin (unattended sessions, CI); with
+//! `--trace FILE` the session writes an `aide-trace/1` JSONL stream —
+//! render or validate it with `scripts/trace_report.py` (schema in
+//! `ARCHITECTURE.md`).
 
 use std::fs::File;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::process::ExitCode;
 use std::sync::Arc;
 
-use aide::core::{CallbackOracle, ExplorationSession, SessionConfig};
+use aide::core::{
+    CallbackOracle, ExplorationSession, SessionConfig, StopCondition, TargetQuery,
+};
 use aide::data::csv::{read_csv, write_csv};
 use aide::data::{auction_like, sdss_like, Table};
 use aide::index::{ExtractionEngine, IndexKind};
 use aide::query::{parse_selection, simplify};
+use aide::util::geom::Rect;
 use aide::util::rng::Xoshiro256pp;
+use aide::util::trace::Tracer;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -55,6 +66,7 @@ fn usage(err: &str) -> ExitCode {
         "usage:\n  aide generate --dataset sdss|auction --rows N --out FILE [--seed N]\n  \
          aide describe --csv FILE\n  \
          aide explore --csv FILE --attrs a,b[,c...] [--batch N] [--max-iter N] [--seed N]\n  \
+         \x20             [--trace FILE.jsonl] [--target lo1,lo2:hi1,hi2[;...]] [--max-labels N]\n  \
          aide query --csv FILE --sql QUERY [--limit N]\n  \
          aide simplify --sql QUERY"
     );
@@ -160,6 +172,47 @@ fn cmd_describe(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+/// Parse `--target lo1,lo2:hi1,hi2[;lo1,lo2:hi1,hi2...]` into raw-coordinate
+/// rectangles, one per `;`-separated range, each with `dims` coordinates.
+fn parse_target(spec: &str, dims: usize) -> Result<Vec<Rect>, String> {
+    let parse_point = |s: &str| -> Result<Vec<f64>, String> {
+        s.split(',')
+            .map(|v| {
+                v.trim()
+                    .parse()
+                    .map_err(|_| format!("bad coordinate `{v}` in --target"))
+            })
+            .collect()
+    };
+    spec.split(';')
+        .map(|range| {
+            let (lo, hi) = range
+                .split_once(':')
+                .ok_or_else(|| format!("--target range `{range}` needs a `:`"))?;
+            let lo = parse_point(lo)?;
+            let hi = parse_point(hi)?;
+            if lo.len() != dims || hi.len() != dims {
+                return Err(format!(
+                    "--target range `{range}` has {}:{} coordinates but --attrs names {dims}",
+                    lo.len(),
+                    hi.len()
+                ));
+            }
+            Ok(Rect::new(lo, hi))
+        })
+        .collect()
+}
+
+/// Write the session trace (header line plus every buffered event) as JSONL.
+fn write_trace(path: &str, tracer: &Tracer) -> Result<(), String> {
+    let file = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+    let mut writer = BufWriter::new(file);
+    tracer
+        .write_jsonl(&mut writer, false)
+        .map_err(|e| format!("cannot write {path}: {e}"))?;
+    writer.flush().map_err(|e| e.to_string())
+}
+
 fn cmd_explore(flags: &Flags) -> Result<(), String> {
     let table = load_csv(flags.require("csv")?)?;
     let attrs: Vec<&str> = flags.require("attrs")?.split(',').collect();
@@ -172,6 +225,59 @@ fn cmd_explore(flags: &Flags) -> Result<(), String> {
             .map_err(|e| format!("bad exploration attributes: {e}"))?,
     );
     let engine = ExtractionEngine::from_arc(Arc::clone(&view), IndexKind::Grid);
+
+    let trace_path = flags.get("trace");
+    let mut config = SessionConfig {
+        samples_per_iteration: batch,
+        ..SessionConfig::default()
+    };
+    if trace_path.is_some() {
+        config.tracer = Tracer::new();
+    }
+
+    // Non-interactive mode: a known target rectangle plays the user, so a
+    // full steering session (and its trace) can run unattended.
+    if let Some(spec) = flags.get("target") {
+        let max_labels: usize = flags.parse_num("max-labels", 500)?;
+        let raw_rects = parse_target(spec, view.dims())?;
+        let target = TargetQuery::new(
+            raw_rects
+                .iter()
+                .map(|r| view.mapper().normalize_rect(r))
+                .collect(),
+        );
+        let tracer = config.tracer.clone();
+        let mut session = ExplorationSession::new(
+            config,
+            engine,
+            Arc::clone(&view),
+            target,
+            Xoshiro256pp::seed_from_u64(seed),
+        );
+        let result = session.run(StopCondition {
+            target_f: None,
+            max_labels: Some(max_labels),
+            max_iterations: max_iter,
+        });
+        let query = simplify(&session.predicted_selection("data"));
+        let matched = query.evaluate(&table).map_err(|e| e.to_string())?;
+        println!("simulated target: {spec}");
+        println!("final query: {}", query.to_sql());
+        println!(
+            "matches {} of {} rows; {} labels over {} iterations; F = {:.3}",
+            matched.len(),
+            table.num_rows(),
+            result.total_labeled,
+            result.iterations,
+            result.final_f
+        );
+        println!("{}", result.cost_summary());
+        if let Some(path) = trace_path {
+            write_trace(path, &tracer)?;
+            println!("trace written to {path}");
+        }
+        return Ok(());
+    }
 
     println!(
         "exploring {} rows over {:?}; label each shown row y/n, or q to finish\n",
@@ -217,11 +323,9 @@ fn cmd_explore(flags: &Flags) -> Result<(), String> {
             }
         }
     });
+    let tracer = config.tracer.clone();
     let mut session = ExplorationSession::with_oracle(
-        SessionConfig {
-            samples_per_iteration: batch,
-            ..SessionConfig::default()
-        },
+        config,
         engine,
         Arc::clone(&view),
         Box::new(oracle),
@@ -239,6 +343,7 @@ fn cmd_explore(flags: &Flags) -> Result<(), String> {
             report.total_labeled, report.relevant_labeled, report.num_regions, sql
         );
     }
+    session.finish_trace();
     let query = simplify(&session.predicted_selection("data"));
     let matched = query.evaluate(&table).map_err(|e| e.to_string())?;
     println!("\nfinal query: {}", query.to_sql());
@@ -249,6 +354,10 @@ fn cmd_explore(flags: &Flags) -> Result<(), String> {
         session.reviewed()
     );
     println!("{}", session.result().cost_summary());
+    if let Some(path) = trace_path {
+        write_trace(path, &tracer)?;
+        println!("trace written to {path}");
+    }
     if view.dims() == 2 {
         println!(
             "\npredicted regions (o) over the data (·/:):\n{}",
