@@ -140,6 +140,7 @@ pub fn run_random(
         total_labeled: labeled.len(),
         iterations: history.len(),
         total_time,
+        shards: engine.shard_count(),
         history,
     }
 }
@@ -270,6 +271,7 @@ pub fn run_uncertainty(
         total_labeled: labeled.len(),
         iterations: history.len(),
         total_time,
+        shards: engine.shard_count(),
         history,
     }
 }

@@ -80,6 +80,8 @@ pub struct SessionResult {
     pub total_labeled: usize,
     /// Iterations executed.
     pub iterations: usize,
+    /// Extraction-engine shards the session ran with (1 = monolithic).
+    pub shards: usize,
     /// Total system execution time.
     pub total_time: Duration,
 }
@@ -134,8 +136,14 @@ impl SessionResult {
             )
         };
         format!(
-            "extraction: {} queries, {} tuples examined, {} returned, {}, {:.1?} in engine",
-            t.queries, t.tuples_examined, t.tuples_returned, cache, t.elapsed
+            "extraction: {} queries, {} tuples examined, {} returned, {}, {} shard{}, {:.1?} in engine",
+            t.queries,
+            t.tuples_examined,
+            t.tuples_returned,
+            cache,
+            self.shards,
+            if self.shards == 1 { "" } else { "s" },
+            t.elapsed
         )
     }
 }
@@ -236,6 +244,9 @@ impl ExplorationSession {
         engine.set_pool(pool);
         engine.set_cache_enabled(config.region_cache);
         engine.set_tracer(config.tracer.clone());
+        // Reshard before the chunk-stat drain below: the per-shard index
+        // builds are construction work, not first-iteration work.
+        engine.set_shards(ExtractionEngine::resolve_shards(config.shards, &pool));
         if config.tracer.is_enabled() {
             // Construction work (index build, discovery k-means) happened
             // before the session span: clear the chunk counters so the
@@ -252,6 +263,9 @@ impl ExplorationSession {
                     ("samples_per_iteration", Value::from(config.samples_per_iteration)),
                     ("strategy", Value::from(strategy)),
                     ("index", Value::from(index)),
+                    // `shards` is stripped from timing-stripped output (the
+                    // `shard` prefix rule), keeping fingerprints invariant.
+                    ("shards", Value::from(engine.shard_count())),
                     ("region_cache", Value::from(config.region_cache)),
                     ("eval_every", Value::from(config.eval_every)),
                 ],
@@ -313,6 +327,13 @@ impl ExplorationSession {
     /// Objects the oracle has reviewed so far (the user-effort metric).
     pub fn reviewed(&self) -> usize {
         self.oracle.reviewed()
+    }
+
+    /// Extraction-engine shards this session runs with (1 = monolithic).
+    /// Resolved at construction from [`SessionConfig::shards`] and the
+    /// `AIDE_SHARDS` environment variable.
+    pub fn shards(&self) -> usize {
+        self.engine.shard_count()
     }
 
     /// The reference interest used for accuracy evaluation, if any.
@@ -685,6 +706,7 @@ impl ExplorationSession {
             final_f: self.last_eval.0,
             total_labeled: self.labeled.len(),
             iterations: self.iteration,
+            shards: self.engine.shard_count(),
             total_time: self.history.iter().map(|r| r.duration).sum(),
         }
     }

@@ -53,7 +53,7 @@ pub struct CacheStats {
 /// let rect = Rect::new(vec![0.0, 0.0], vec![1.0, 1.0]);
 /// assert!(cache.get_query(&rect.key()).is_none()); // miss
 ///
-/// cache.put_query(&rect, Arc::new(QueryOutput { indices: vec![3, 8], examined: 40 }));
+/// cache.put_query(&rect, Arc::new(QueryOutput { indices: vec![3, 8], examined: 40, runs: vec![] }));
 /// // Keyed on the exact f64 bit pattern: the same bounds hit…
 /// assert_eq!(cache.get_query(&rect.key()).unwrap().indices, vec![3, 8]);
 /// // …and a full query result serves count lookups for free.
@@ -166,6 +166,7 @@ mod tests {
         Arc::new(QueryOutput {
             indices: (0..n as u32).collect(),
             examined: n * 3,
+            runs: Vec::new(),
         })
     }
 

@@ -22,6 +22,21 @@
 //!   and the RNG stream are bit-identical to a serial loop of
 //!   [`ExtractionEngine::sample_in_excluding`] calls for any
 //!   `AIDE_THREADS`.
+//!
+//! On top of both sits optional **sharding**
+//! ([`ExtractionEngine::set_shards`]): the view splits into contiguous
+//! row-range shards ([`NumericView::partition`]), each with its own index
+//! and its own [`RegionCache`](crate::RegionCache), built in parallel.
+//! Every query probes the shards in shard-index order and merges their
+//! results back into the monolithic output order — ascending-order paths
+//! by concatenation, the grid by interleaving aligned per-cell runs
+//! ([`QueryOutput::runs`]) — so outputs, stats, labels and the caller's
+//! RNG stream are bit-identical to the unsharded engine at any
+//! `AIDE_SHARDS × AIDE_THREADS` combination. (The one caveat:
+//! [`KdTree`]/[`SortedIndex`] shards may *examine* a different number of
+//! tuples than the monolithic index, because their pruning decisions
+//! depend on the point set they were built over; indices, counts and
+//! samples still match exactly.)
 
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
@@ -97,6 +112,22 @@ pub struct ExtractionStats {
     pub elapsed: Duration,
 }
 
+/// One horizontal partition of a sharded engine: a contiguous row-range
+/// view, its own index built against the *full* view's layout, and its
+/// own result cache. Every shard cache sees the same lookup/insert
+/// sequence as every other's (and they saturate
+/// [`RegionCache::MAX_ENTRIES`](crate::RegionCache::MAX_ENTRIES)
+/// simultaneously), so cache hits are all-or-nothing across shards and
+/// the engine's hit/miss accounting matches the monolithic engine's.
+struct Shard {
+    view: NumericView,
+    /// Index of this shard's first row in the full view; merged outputs
+    /// add it to per-shard view indices.
+    offset: u32,
+    index: Box<dyn RegionIndex>,
+    cache: RegionCache,
+}
+
 /// Region-sampling façade over a [`NumericView`] plus a [`RegionIndex`].
 pub struct ExtractionEngine {
     view: Arc<NumericView>,
@@ -107,6 +138,11 @@ pub struct ExtractionEngine {
     cache: RegionCache,
     cache_enabled: bool,
     tracer: Tracer,
+    /// Empty = monolithic (the default); `n ≥ 2` entries = sharded.
+    shards: Vec<Shard>,
+    /// Per-shard cumulative `tuples_examined`, maintained only when
+    /// sharded; batch calls emit the per-wave deltas in trace events.
+    shard_examined_total: Vec<u64>,
 }
 
 impl std::fmt::Debug for ExtractionEngine {
@@ -115,6 +151,7 @@ impl std::fmt::Debug for ExtractionEngine {
             .field("points", &self.view.len())
             .field("dims", &self.view.dims())
             .field("index", &self.index.name())
+            .field("shards", &self.shard_count())
             .field("threads", &self.pool.threads())
             .field("cache_enabled", &self.cache_enabled)
             .field("cached_rects", &self.cache.len())
@@ -155,6 +192,8 @@ impl ExtractionEngine {
             cache: RegionCache::new(),
             cache_enabled: true,
             tracer: Tracer::disabled(),
+            shards: Vec::new(),
+            shard_examined_total: Vec::new(),
         }
     }
 
@@ -184,6 +223,73 @@ impl ExtractionEngine {
         self.pool = pool;
     }
 
+    /// Number of horizontal shards answering queries (1 = monolithic).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len().max(1)
+    }
+
+    /// Resolves a configured shard count against the `AIDE_SHARDS`
+    /// environment override and the engine's pool, mirroring
+    /// [`Pool::from_env`]'s precedence: the environment variable beats
+    /// `configured`, and `0` means *auto* — one shard per pool thread.
+    pub fn resolve_shards(configured: usize, pool: &Pool) -> usize {
+        let n = std::env::var("AIDE_SHARDS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(configured);
+        if n == 0 {
+            pool.threads()
+        } else {
+            n
+        }
+    }
+
+    /// Repartitions the engine into `n_shards` contiguous row-range shards
+    /// ([`NumericView::partition`]), each with its own index and result
+    /// cache. Shard indexes build in parallel — one task per shard on the
+    /// engine's pool, each build itself serial, so the pool records
+    /// exactly one call of `n_shards` chunks for any thread count.
+    ///
+    /// `1` restores the monolithic path. Call this **before** issuing
+    /// queries: shard caches start empty, and the engine's hit/miss
+    /// accounting only mirrors the monolithic engine's when the monolithic
+    /// cache was empty too at the switch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_shards == 0`.
+    pub fn set_shards(&mut self, n_shards: usize) {
+        assert!(n_shards >= 1, "need at least one shard");
+        if n_shards == self.shard_count() {
+            return;
+        }
+        self.shards = Vec::new();
+        self.shard_examined_total = Vec::new();
+        if n_shards == 1 {
+            return;
+        }
+        let full_len = self.view.len();
+        let dims = self.view.dims();
+        let kind = self.kind;
+        let shard_views = self.view.partition(n_shards);
+        let indexes: Vec<Box<dyn RegionIndex>> = self.pool.par_map_collect(n_shards, 1, |r| {
+            r.map(|s| build_shard_index(&shard_views[s], kind, full_len, dims))
+                .collect()
+        });
+        self.shards = shard_views
+            .into_iter()
+            .zip(indexes)
+            .enumerate()
+            .map(|(s, (view, index))| Shard {
+                view,
+                offset: NumericView::shard_bounds(full_len, n_shards, s).0 as u32,
+                index,
+                cache: RegionCache::new(),
+            })
+            .collect();
+        self.shard_examined_total = vec![0; n_shards];
+    }
+
     /// The tracer batch calls emit `wave` events to (disabled by default).
     /// Exploration phases also borrow it for their plan events.
     pub fn tracer(&self) -> &Tracer {
@@ -208,9 +314,13 @@ impl ExtractionEngine {
         self.cache_enabled = enabled;
     }
 
-    /// Number of distinct rectangles currently cached.
+    /// Number of distinct rectangles currently cached. When sharded, every
+    /// shard cache holds the same key set; shard 0's length is reported.
     pub fn cached_regions(&self) -> usize {
-        self.cache.len()
+        match self.shards.first() {
+            Some(shard) => shard.cache.len(),
+            None => self.cache.len(),
+        }
     }
 
     /// Cost counters accumulated so far.
@@ -247,11 +357,20 @@ impl ExtractionEngine {
     /// submitted rectangles and the cache state — never of the thread
     /// count — so traced content stays deterministic. One branch when the
     /// tracer is disabled.
-    fn trace_wave(&self, rects: usize, before: ExtractionStats, start: Instant) {
+    fn trace_wave(&self, rects: usize, before: ExtractionStats, before_shard: &[u64], start: Instant) {
         if !self.tracer.is_enabled() || rects == 0 {
             return;
         }
         let now = self.stats;
+        // Per-shard examined deltas, present only when sharded; the field
+        // is stripped from timing-stripped output (`shard` prefix rule) so
+        // fingerprints stay shard-count invariant.
+        let shard_examined: Vec<u64> = self
+            .shard_examined_total
+            .iter()
+            .zip(before_shard)
+            .map(|(now, before)| now - before)
+            .collect();
         self.tracer.wave(
             rects as u64,
             now.queries - before.queries,
@@ -259,12 +378,56 @@ impl ExtractionEngine {
             now.cache_misses - before.cache_misses,
             now.tuples_examined - before.tuples_examined,
             now.tuples_returned - before.tuples_returned,
+            &shard_examined,
             start.elapsed().as_micros() as u64,
         );
     }
 
+    /// Probes every shard cache for `rect` — every one, even after a miss,
+    /// so the per-shard tallies stay in lockstep — and merges the parts on
+    /// an (all-or-nothing) hit.
+    fn sharded_cached_query(&mut self, key: &RectKey) -> Option<Arc<QueryOutput>> {
+        let mut parts = Vec::with_capacity(self.shards.len());
+        for shard in self.shards.iter_mut() {
+            parts.push(shard.cache.get_query(key));
+        }
+        if parts.iter().any(Option::is_none) {
+            debug_assert!(
+                parts.iter().all(Option::is_none),
+                "shard caches move in lockstep"
+            );
+            return None;
+        }
+        let parts: Vec<Arc<QueryOutput>> = parts.into_iter().flatten().collect();
+        Some(Arc::new(merge_shard_parts(&self.shards, &parts)))
+    }
+
+    /// Count-path twin of [`Self::sharded_cached_query`].
+    fn sharded_cached_count(&mut self, key: &RectKey) -> Option<CountOutput> {
+        let mut parts = Vec::with_capacity(self.shards.len());
+        for shard in self.shards.iter_mut() {
+            parts.push(shard.cache.get_count(key));
+        }
+        if parts.iter().any(Option::is_none) {
+            debug_assert!(
+                parts.iter().all(Option::is_none),
+                "shard caches move in lockstep"
+            );
+            return None;
+        }
+        let (mut count, mut examined) = (0, 0);
+        for p in parts.into_iter().flatten() {
+            count += p.count;
+            examined += p.examined;
+        }
+        Some(CountOutput { count, examined })
+    }
+
     /// The cached query path every single-rect entry point routes through.
     fn fetch_query(&mut self, rect: &Rect) -> Arc<QueryOutput> {
+        if !self.shards.is_empty() {
+            return self.fetch_query_sharded(rect);
+        }
         if self.cache_enabled {
             if let Some(hit) = self.cache.get_query(&rect.key()) {
                 self.book_hit(hit.indices.len());
@@ -277,6 +440,33 @@ impl ExtractionEngine {
             self.cache.put_query(rect, Arc::clone(&out));
         }
         out
+    }
+
+    /// [`Self::fetch_query`] over the shards: serial probe in shard-index
+    /// order, merge, book against the merged totals, cache the parts.
+    fn fetch_query_sharded(&mut self, rect: &Rect) -> Arc<QueryOutput> {
+        if self.cache_enabled {
+            if let Some(merged) = self.sharded_cached_query(&rect.key()) {
+                self.book_hit(merged.indices.len());
+                return merged;
+            }
+        }
+        let (merged, parts) = query_shards(&self.shards, rect);
+        let merged = Arc::new(merged);
+        self.book_miss(merged.examined, merged.indices.len());
+        let cache_enabled = self.cache_enabled;
+        for ((shard, part), total) in self
+            .shards
+            .iter_mut()
+            .zip(&parts)
+            .zip(self.shard_examined_total.iter_mut())
+        {
+            *total += part.examined as u64;
+            if cache_enabled {
+                shard.cache.put_query(rect, Arc::clone(part));
+            }
+        }
+        merged
     }
 
     /// All view indices inside `rect` (one extraction query).
@@ -292,6 +482,9 @@ impl ExtractionEngine {
     /// [`RegionIndex::count`], which never materializes the matching-index
     /// vector — density probes over large rectangles stay allocation-free.
     pub fn count_in(&mut self, rect: &Rect) -> usize {
+        if !self.shards.is_empty() {
+            return self.count_in_sharded(rect);
+        }
         let start = Instant::now();
         let out = if self.cache_enabled {
             if let Some(hit) = self.cache.get_count(&rect.key()) {
@@ -308,6 +501,34 @@ impl ExtractionEngine {
         self.book_miss(out.examined, out.count);
         self.stats.elapsed += start.elapsed();
         out.count
+    }
+
+    /// [`Self::count_in`] over the shards.
+    fn count_in_sharded(&mut self, rect: &Rect) -> usize {
+        let start = Instant::now();
+        if self.cache_enabled {
+            if let Some(hit) = self.sharded_cached_count(&rect.key()) {
+                self.book_hit(hit.count);
+                self.stats.elapsed += start.elapsed();
+                return hit.count;
+            }
+        }
+        let (merged, parts) = count_shards(&self.shards, rect);
+        let cache_enabled = self.cache_enabled;
+        for ((shard, part), total) in self
+            .shards
+            .iter_mut()
+            .zip(&parts)
+            .zip(self.shard_examined_total.iter_mut())
+        {
+            *total += part.examined as u64;
+            if cache_enabled {
+                shard.cache.put_count(rect, *part);
+            }
+        }
+        self.book_miss(merged.examined, merged.count);
+        self.stats.elapsed += start.elapsed();
+        merged.count
     }
 
     /// Fraction of all points lying inside `rect` (one extraction query);
@@ -418,6 +639,7 @@ impl ExtractionEngine {
     pub fn query_batch_outputs(&mut self, rects: &[Rect]) -> Vec<Arc<QueryOutput>> {
         let start = Instant::now();
         let before = self.stats;
+        let before_shard = self.shard_examined_total.clone();
         let mut results: Vec<Option<Arc<QueryOutput>>> = vec![None; rects.len()];
         // dup_of[i] = earlier batch position with a bit-identical rect.
         let mut dup_of: Vec<Option<usize>> = vec![None; rects.len()];
@@ -426,7 +648,12 @@ impl ExtractionEngine {
             let mut first_seen: HashMap<RectKey, usize> = HashMap::new();
             for (i, rect) in rects.iter().enumerate() {
                 let key = rect.key();
-                if let Some(hit) = self.cache.get_query(&key) {
+                let hit = if self.shards.is_empty() {
+                    self.cache.get_query(&key)
+                } else {
+                    self.sharded_cached_query(&key)
+                };
+                if let Some(hit) = hit {
                     self.book_hit(hit.indices.len());
                     results[i] = Some(hit);
                 } else if let Some(&j) = first_seen.get(&key) {
@@ -442,18 +669,46 @@ impl ExtractionEngine {
 
         // The parallel pass: RNG-free index queries only. Chunk size 1 and
         // chunk-index-order reassembly keep results in input order for any
-        // thread count.
+        // thread count. Sharded or not, one work item per cache miss:
+        // sharding must not change the pool's call/chunk accounting, so
+        // each item probes every shard serially *inside* the task and
+        // merges there.
         let pool = self.pool;
         let (view, index) = (&self.view, &self.index);
-        let fresh: Vec<Arc<QueryOutput>> = pool.par_map_collect(misses.len(), 1, |r| {
-            r.map(|m| Arc::new(index.query(view, &rects[misses[m]])))
+        let shards = &self.shards;
+        let fresh: Vec<(Arc<QueryOutput>, Vec<Arc<QueryOutput>>)> =
+            pool.par_map_collect(misses.len(), 1, |r| {
+                r.map(|m| {
+                    let rect = &rects[misses[m]];
+                    if shards.is_empty() {
+                        (Arc::new(index.query(view, rect)), Vec::new())
+                    } else {
+                        let (merged, parts) = query_shards(shards, rect);
+                        (Arc::new(merged), parts)
+                    }
+                })
                 .collect()
-        });
+            });
 
-        for (out, &i) in fresh.iter().zip(&misses) {
+        for ((out, parts), &i) in fresh.iter().zip(&misses) {
             self.book_miss(out.examined, out.indices.len());
-            if self.cache_enabled {
-                self.cache.put_query(&rects[i], Arc::clone(out));
+            let cache_enabled = self.cache_enabled;
+            if self.shards.is_empty() {
+                if cache_enabled {
+                    self.cache.put_query(&rects[i], Arc::clone(out));
+                }
+            } else {
+                for ((shard, part), total) in self
+                    .shards
+                    .iter_mut()
+                    .zip(parts)
+                    .zip(self.shard_examined_total.iter_mut())
+                {
+                    *total += part.examined as u64;
+                    if cache_enabled {
+                        shard.cache.put_query(&rects[i], Arc::clone(part));
+                    }
+                }
             }
             results[i] = Some(Arc::clone(out));
         }
@@ -465,7 +720,7 @@ impl ExtractionEngine {
             }
         }
         self.stats.elapsed += start.elapsed();
-        self.trace_wave(rects.len(), before, start);
+        self.trace_wave(rects.len(), before, &before_shard, start);
         results
             .into_iter()
             .map(|r| r.expect("every rect resolved"))
@@ -511,6 +766,7 @@ impl ExtractionEngine {
     pub fn count_batch(&mut self, rects: &[Rect]) -> Vec<usize> {
         let start = Instant::now();
         let before = self.stats;
+        let before_shard = self.shard_examined_total.clone();
         let mut results: Vec<Option<CountOutput>> = vec![None; rects.len()];
         let mut dup_of: Vec<Option<usize>> = vec![None; rects.len()];
         let mut misses: Vec<usize> = Vec::new();
@@ -518,7 +774,12 @@ impl ExtractionEngine {
             let mut first_seen: HashMap<RectKey, usize> = HashMap::new();
             for (i, rect) in rects.iter().enumerate() {
                 let key = rect.key();
-                if let Some(hit) = self.cache.get_count(&key) {
+                let hit = if self.shards.is_empty() {
+                    self.cache.get_count(&key)
+                } else {
+                    self.sharded_cached_count(&key)
+                };
+                if let Some(hit) = hit {
                     self.book_hit(hit.count);
                     results[i] = Some(hit);
                 } else if let Some(&j) = first_seen.get(&key) {
@@ -534,14 +795,39 @@ impl ExtractionEngine {
 
         let pool = self.pool;
         let (view, index) = (&self.view, &self.index);
-        let fresh: Vec<CountOutput> = pool.par_map_collect(misses.len(), 1, |r| {
-            r.map(|m| index.count(view, &rects[misses[m]])).collect()
-        });
+        let shards = &self.shards;
+        let fresh: Vec<(CountOutput, Vec<CountOutput>)> =
+            pool.par_map_collect(misses.len(), 1, |r| {
+                r.map(|m| {
+                    let rect = &rects[misses[m]];
+                    if shards.is_empty() {
+                        (index.count(view, rect), Vec::new())
+                    } else {
+                        count_shards(shards, rect)
+                    }
+                })
+                .collect()
+            });
 
-        for (out, &i) in fresh.iter().zip(&misses) {
+        for ((out, parts), &i) in fresh.iter().zip(&misses) {
             self.book_miss(out.examined, out.count);
-            if self.cache_enabled {
-                self.cache.put_count(&rects[i], *out);
+            let cache_enabled = self.cache_enabled;
+            if self.shards.is_empty() {
+                if cache_enabled {
+                    self.cache.put_count(&rects[i], *out);
+                }
+            } else {
+                for ((shard, part), total) in self
+                    .shards
+                    .iter_mut()
+                    .zip(parts)
+                    .zip(self.shard_examined_total.iter_mut())
+                {
+                    *total += part.examined as u64;
+                    if cache_enabled {
+                        shard.cache.put_count(&rects[i], *part);
+                    }
+                }
             }
             results[i] = Some(*out);
         }
@@ -553,7 +839,7 @@ impl ExtractionEngine {
             }
         }
         self.stats.elapsed += start.elapsed();
-        self.trace_wave(rects.len(), before, start);
+        self.trace_wave(rects.len(), before, &before_shard, start);
         results
             .into_iter()
             .map(|r| r.expect("every rect resolved").count)
@@ -620,6 +906,91 @@ impl ExtractionEngine {
         }
         self.stats.elapsed += start.elapsed();
         results
+    }
+}
+
+/// Builds one shard's access path. Grid shards build at the *full* view's
+/// heuristic resolution with run recording on ([`GridIndex::build_shard`])
+/// so their bucket layouts — and query visit orders — line up with the
+/// monolithic index's; the other kinds return ascending view order, which
+/// merges by concatenation. Builds are serial: [`ExtractionEngine::set_shards`]
+/// parallelizes *across* shards.
+fn build_shard_index(
+    view: &NumericView,
+    kind: IndexKind,
+    full_len: usize,
+    dims: usize,
+) -> Box<dyn RegionIndex> {
+    let serial = Pool::serial();
+    match kind {
+        IndexKind::Grid => Box::new(GridIndex::build_shard(
+            view,
+            GridIndex::heuristic_resolution(full_len, dims),
+            &serial,
+        )),
+        IndexKind::KdTree => Box::new(KdTree::build_with(view, &serial)),
+        IndexKind::Sorted => Box::new(SortedIndex::build_with(view, &serial)),
+        IndexKind::Scan => Box::new(ScanIndex::new()),
+    }
+}
+
+/// Queries every shard serially in shard-index order and merges; returns
+/// the merged output plus the per-shard parts (for the shard caches).
+fn query_shards(shards: &[Shard], rect: &Rect) -> (QueryOutput, Vec<Arc<QueryOutput>>) {
+    let parts: Vec<Arc<QueryOutput>> = shards
+        .iter()
+        .map(|s| Arc::new(s.index.query(&s.view, rect)))
+        .collect();
+    let merged = merge_shard_parts(shards, &parts);
+    (merged, parts)
+}
+
+/// Counts over every shard serially; merged totals plus per-shard parts.
+fn count_shards(shards: &[Shard], rect: &Rect) -> (CountOutput, Vec<CountOutput>) {
+    let parts: Vec<CountOutput> = shards.iter().map(|s| s.index.count(&s.view, rect)).collect();
+    let merged = CountOutput {
+        count: parts.iter().map(|p| p.count).sum(),
+        examined: parts.iter().map(|p| p.examined).sum(),
+    };
+    (merged, parts)
+}
+
+/// Merges per-shard query outputs into the monolithic output order.
+///
+/// Ascending-order access paths (scan, k-d tree, sorted): shard `s`'s rows
+/// all precede shard `s+1`'s in the full view, so concatenation in shard
+/// order — offset into the full view's index space — reproduces the
+/// monolithic ascending order. The grid's cell-major order instead
+/// interleaves across shards cell by cell: shard grids share the bucket
+/// layout, so every part records the same visited-cell sequence in
+/// [`QueryOutput::runs`], and walking the aligned runs in shard order
+/// reconstructs the monolithic visit order exactly.
+fn merge_shard_parts(shards: &[Shard], parts: &[Arc<QueryOutput>]) -> QueryOutput {
+    debug_assert_eq!(shards.len(), parts.len());
+    let examined = parts.iter().map(|p| p.examined).sum();
+    let total: usize = parts.iter().map(|p| p.indices.len()).sum();
+    let mut indices = Vec::with_capacity(total);
+    if parts[0].runs.is_empty() {
+        for (shard, part) in shards.iter().zip(parts) {
+            indices.extend(part.indices.iter().map(|&i| i + shard.offset));
+        }
+    } else {
+        let n_runs = parts[0].runs.len();
+        let mut cursors = vec![0usize; parts.len()];
+        for run in 0..n_runs {
+            for (s, (shard, part)) in shards.iter().zip(parts).enumerate() {
+                debug_assert_eq!(part.runs.len(), n_runs, "shard grids share cell layout");
+                let len = part.runs[run] as usize;
+                let seg = &part.indices[cursors[s]..cursors[s] + len];
+                indices.extend(seg.iter().map(|&i| i + shard.offset));
+                cursors[s] += len;
+            }
+        }
+    }
+    QueryOutput {
+        indices,
+        examined,
+        runs: Vec::new(),
     }
 }
 
@@ -913,5 +1284,158 @@ mod tests {
         let mut engine = ExtractionEngine::new(view, IndexKind::Grid);
         let d = engine.density(&Rect::full_domain(2));
         assert!((d - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sharded_engine_matches_monolithic_for_every_kind() {
+        let view = grid_view(25);
+        let mut rects: Vec<Rect> = (0..10)
+            .map(|i| {
+                let lo = (i * 7 % 50) as f64;
+                Rect::new(vec![lo, lo / 2.0], vec![lo + 23.0, lo / 2.0 + 31.0])
+            })
+            .collect();
+        rects.push(rects[2].clone()); // within-batch duplicate
+        let requests: Vec<SampleRequest> = rects
+            .iter()
+            .enumerate()
+            .map(|(i, r)| SampleRequest::new(r.clone(), if i == 5 { 0 } else { 3 + i % 4 }))
+            .collect();
+        let excluded: HashSet<u32> = [7, 42, 300].into_iter().collect();
+
+        for kind in [
+            IndexKind::Grid,
+            IndexKind::KdTree,
+            IndexKind::Sorted,
+            IndexKind::Scan,
+        ] {
+            let mut mono = ExtractionEngine::new(view.clone(), kind);
+            let want_queries = mono.query_batch(&rects);
+            let want_counts = mono.count_batch(&rects);
+            let mut rng_m = Xoshiro256pp::seed_from_u64(5);
+            let want_samples = mono.sample_batch(&requests, &mut rng_m, &excluded);
+            let want = mono.stats();
+
+            for n_shards in [2usize, 3, 4] {
+                for threads in [1, 4] {
+                    let mut sharded = ExtractionEngine::new(view.clone(), kind);
+                    sharded.set_pool(Pool::new(threads));
+                    sharded.set_shards(n_shards);
+                    assert_eq!(sharded.shard_count(), n_shards);
+                    let tag = format!("{kind:?}, {n_shards} shards, {threads} threads");
+                    assert_eq!(sharded.query_batch(&rects), want_queries, "{tag}");
+                    assert_eq!(sharded.count_batch(&rects), want_counts, "{tag}");
+                    let mut rng_s = Xoshiro256pp::seed_from_u64(5);
+                    assert_eq!(
+                        sharded.sample_batch(&requests, &mut rng_s, &excluded),
+                        want_samples,
+                        "{tag}"
+                    );
+                    // Same caller-RNG end state as the monolithic run.
+                    assert_eq!(rng_s.next_u64(), rng_m.clone().next_u64(), "{tag}");
+                    let got = sharded.stats();
+                    assert_eq!(got.queries, want.queries, "{tag}");
+                    assert_eq!(got.tuples_returned, want.tuples_returned, "{tag}");
+                    assert_eq!(got.cache_hits, want.cache_hits, "{tag}");
+                    assert_eq!(got.cache_misses, want.cache_misses, "{tag}");
+                    if matches!(kind, IndexKind::Grid | IndexKind::Scan) {
+                        // Grid partials and scans partition their work
+                        // exactly; tree-shaped paths may prune differently
+                        // per shard (documented), so examined is kind-bound.
+                        assert_eq!(got.tuples_examined, want.tuples_examined, "{tag}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_single_query_path_matches_monolithic_including_cache_hits() {
+        let view = grid_view(20);
+        let rect = Rect::new(vec![5.0, 10.0], vec![60.0, 55.0]);
+        let mut mono = ExtractionEngine::new(view.clone(), IndexKind::Grid);
+        let mut sharded = ExtractionEngine::new(view, IndexKind::Grid);
+        sharded.set_shards(3);
+        let mut rng_m = Xoshiro256pp::seed_from_u64(11);
+        let mut rng_s = Xoshiro256pp::seed_from_u64(11);
+        let excluded: HashSet<u32> = [3, 150].into_iter().collect();
+        for round in 0..2 {
+            assert_eq!(sharded.query_in(&rect), mono.query_in(&rect), "{round}");
+            assert_eq!(sharded.count_in(&rect), mono.count_in(&rect), "{round}");
+            assert_eq!(
+                sharded.sample_in_excluding(&rect, 5, &mut rng_s, &excluded),
+                mono.sample_in_excluding(&rect, 5, &mut rng_m, &excluded),
+                "{round}"
+            );
+        }
+        let (got, want) = (sharded.stats(), mono.stats());
+        assert_eq!(got.queries, want.queries);
+        assert_eq!(got.cache_hits, want.cache_hits);
+        assert_eq!(got.cache_misses, want.cache_misses);
+        assert_eq!(got.tuples_examined, want.tuples_examined);
+        assert_eq!(sharded.cached_regions(), mono.cached_regions());
+    }
+
+    #[test]
+    fn set_shards_one_restores_the_monolithic_path() {
+        let view = grid_view(15);
+        let rect = Rect::new(vec![0.0, 0.0], vec![45.0, 45.0]);
+        let mut engine = ExtractionEngine::new(view.clone(), IndexKind::Grid);
+        let want = ExtractionEngine::new(view, IndexKind::Grid).query_in(&rect);
+        engine.set_shards(4);
+        assert_eq!(engine.shard_count(), 4);
+        engine.set_shards(1);
+        assert_eq!(engine.shard_count(), 1);
+        assert_eq!(engine.query_in(&rect), want);
+    }
+
+    #[test]
+    fn resolve_shards_auto_follows_the_pool() {
+        if std::env::var("AIDE_SHARDS").is_ok() {
+            return; // the environment override beats everything, by design
+        }
+        assert_eq!(ExtractionEngine::resolve_shards(0, &Pool::new(4)), 4);
+        assert_eq!(ExtractionEngine::resolve_shards(3, &Pool::new(4)), 3);
+        assert_eq!(ExtractionEngine::resolve_shards(0, &Pool::serial()), 1);
+    }
+
+    #[test]
+    fn sharded_batches_report_per_shard_examined_deltas() {
+        use aide_util::trace::{Tracer, Value};
+        let view = grid_view(10); // 100 points -> shard lens 33/33/34
+        let mut engine = ExtractionEngine::new(view, IndexKind::Scan);
+        engine.set_shards(3);
+        let tracer = Tracer::ring(64);
+        engine.set_tracer(tracer.clone());
+        engine.query_batch(&[Rect::full_domain(2)]);
+        engine.query_batch(&[Rect::full_domain(2)]); // all-shard cache hit
+        let events = tracer.drain();
+        assert_eq!(events.len(), 2);
+        let shard_field = |e: &aide_util::trace::Event| {
+            e.fields
+                .iter()
+                .find(|(n, _)| *n == "shard_examined")
+                .map(|(_, v)| v.clone())
+        };
+        assert_eq!(
+            shard_field(&events[0]),
+            Some(Value::U64s(vec![33, 33, 34])),
+            "a scan examines each shard fully"
+        );
+        assert_eq!(
+            shard_field(&events[1]),
+            Some(Value::U64s(vec![0, 0, 0])),
+            "a cache hit examines nothing anywhere"
+        );
+        // The stripped stream carries no shard detail at all.
+        for e in &events {
+            assert!(!e.to_jsonl(true).contains("shard"));
+        }
+        // An unsharded engine's waves omit the field entirely.
+        let mut mono = ExtractionEngine::new(grid_view(10), IndexKind::Scan);
+        mono.set_tracer(tracer.clone());
+        mono.query_batch(&[Rect::full_domain(2)]);
+        let events = tracer.drain();
+        assert_eq!(shard_field(&events[0]), None);
     }
 }

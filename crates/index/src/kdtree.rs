@@ -222,6 +222,7 @@ impl RegionIndex for KdTree {
             return QueryOutput {
                 indices: Vec::new(),
                 examined: 0,
+                runs: Vec::new(),
             };
         }
         let mut indices = Vec::new();
@@ -253,7 +254,17 @@ impl RegionIndex for KdTree {
                 }
             }
         }
-        QueryOutput { indices, examined }
+        // Canonicalize to ascending view order: leaf buckets are visited
+        // in DFS order, which depends on the tree shape — per-shard trees
+        // over the same rows would otherwise return a different order than
+        // one monolithic tree, breaking the sharded engine's merge
+        // contract (and the RNG-position sample selection built on it).
+        indices.sort_unstable();
+        QueryOutput {
+            indices,
+            examined,
+            runs: Vec::new(),
+        }
     }
 
     fn count(&self, view: &NumericView, rect: &Rect) -> CountOutput {

@@ -43,9 +43,22 @@ use aide_util::geom::Rect;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct QueryOutput {
     /// View indices of points inside the query rectangle.
+    ///
+    /// Order is part of each access path's contract (sample selection maps
+    /// RNG draws onto positions in this list): [`ScanIndex`], [`KdTree`]
+    /// and [`SortedIndex`] return ascending view order; [`GridIndex`]
+    /// returns cell-major visit order (ascending within each cell).
     pub indices: Vec<u32>,
     /// Points whose coordinates were compared against the rectangle.
     pub examined: usize,
+    /// Optional segmentation of `indices` in canonical visit order, used
+    /// by the sharded engine to interleave per-shard results back into the
+    /// monolithic order. Empty (the default, and the only form plain
+    /// builds produce) means "one segment"; a grid index built for a shard
+    /// records one run per visited cell — including zero-length runs for
+    /// cells the shard happens to leave empty — so aligned runs across
+    /// shards reconstruct the unsharded cell-major order exactly.
+    pub runs: Vec<u32>,
 }
 
 /// Result of a counting query: how many points match plus how many were

@@ -32,6 +32,7 @@ impl RegionIndex for ScanIndex {
         QueryOutput {
             indices,
             examined: view.len(),
+            runs: Vec::new(),
         }
     }
 

@@ -84,6 +84,7 @@ impl RegionIndex for SortedIndex {
             return QueryOutput {
                 indices: Vec::new(),
                 examined: 0,
+                runs: Vec::new(),
             };
         }
         // Scan from the most selective dimension's sorted run.
@@ -98,14 +99,20 @@ impl RegionIndex for SortedIndex {
         }
         let col = &self.columns[best_d];
         let candidates = &col.indices[best_range.0..best_range.1];
-        let indices = candidates
+        let mut indices: Vec<u32> = candidates
             .iter()
             .copied()
             .filter(|&i| rect.contains(view.point(i as usize)))
             .collect();
+        // Canonicalize to ascending view order: the scan dimension (and so
+        // the sorted-run order) can differ between a shard's index and the
+        // monolithic one; a fixed order is what lets the sharded engine
+        // concatenate per-shard results into the monolithic output.
+        indices.sort_unstable();
         QueryOutput {
             indices,
             examined: candidates.len(),
+            runs: Vec::new(),
         }
     }
 

@@ -155,6 +155,116 @@ forall! {
         }
     }
 
+    /// `sample_batch_streams` is nothing more than serial selection on
+    /// pre-split RNG streams: for any rect set, sizes, seed, index kind
+    /// and thread count, it returns exactly what a serial loop returns
+    /// when each active request (n > 0) samples with its own stream from
+    /// `split_streams`, and it advances the parent RNG identically.
+    fn sample_batch_streams_match_serial_selection_on_presplit_rngs(
+        points in points_gen(),
+        all_corners in gen::vec_of(rect_corners(), 0..6),
+        n in gen::usize_in(0..20),
+        seed in gen::any_u64(),
+        threads in gen::usize_in(1..5),
+    ) {
+        let excluded = HashSet::new();
+        let requests: Vec<SampleRequest> = all_corners
+            .iter()
+            .enumerate()
+            .map(|(i, c)| SampleRequest::new(rect_from(c), (n + i) % 20))
+            .collect();
+        let kinds = [
+            IndexKind::Grid,
+            IndexKind::KdTree,
+            IndexKind::Sorted,
+            IndexKind::Scan,
+        ];
+        for kind in kinds {
+            // Reference: split the parent by hand, then sample each
+            // active request serially with its own stream.
+            let mut serial = ExtractionEngine::new(view_from(&points), kind);
+            serial.set_pool(Pool::serial());
+            serial.set_cache_enabled(false);
+            let mut rng_s = Xoshiro256pp::seed_from_u64(seed);
+            let active: Vec<usize> =
+                (0..requests.len()).filter(|&i| requests[i].n > 0).collect();
+            let mut streams = rng_s.split_streams(active.len());
+            let mut expected: Vec<Vec<_>> = vec![Vec::new(); requests.len()];
+            for (k, &i) in active.iter().enumerate() {
+                expected[i] = serial.sample_in_excluding(
+                    &requests[i].rect,
+                    requests[i].n,
+                    &mut streams[k],
+                    &excluded,
+                );
+            }
+
+            let mut batched = ExtractionEngine::new(view_from(&points), kind);
+            batched.set_pool(Pool::new(threads));
+            let mut rng_b = Xoshiro256pp::seed_from_u64(seed);
+            let got = batched.sample_batch_streams(&requests, &mut rng_b, &excluded);
+            prop_assert_eq!(&got, &expected, "streams diverge on {:?} t{}", kind, threads);
+            prop_assert_eq!(
+                rng_b.next_u64(),
+                rng_s.next_u64(),
+                "parent RNG diverges on {:?} t{}", kind, threads
+            );
+        }
+    }
+
+    /// A sharded engine is observationally identical to the monolithic
+    /// one: samples, counts and the caller's RNG stream are bit-equal for
+    /// any index kind, shard count and thread count.
+    fn sharded_engine_is_bit_identical_to_monolithic(
+        points in points_gen(),
+        all_corners in gen::vec_of(rect_corners(), 0..6),
+        n in gen::usize_in(0..20),
+        seed in gen::any_u64(),
+        shards in gen::usize_in(2..6),
+        threads in gen::usize_in(1..5),
+    ) {
+        let excluded = HashSet::new();
+        let rects: Vec<Rect> = all_corners.iter().map(rect_from).collect();
+        let requests: Vec<SampleRequest> = rects
+            .iter()
+            .enumerate()
+            .map(|(i, r)| SampleRequest::new(r.clone(), (n + i) % 20))
+            .collect();
+        let kinds = [
+            IndexKind::Grid,
+            IndexKind::KdTree,
+            IndexKind::Sorted,
+            IndexKind::Scan,
+        ];
+        for kind in kinds {
+            let mut mono = ExtractionEngine::new(view_from(&points), kind);
+            mono.set_pool(Pool::serial());
+            let mut rng_m = Xoshiro256pp::seed_from_u64(seed);
+            let expected = mono.sample_batch(&requests, &mut rng_m, &excluded);
+            let expected_counts = mono.count_batch(&rects);
+
+            let mut sharded = ExtractionEngine::new(view_from(&points), kind);
+            sharded.set_pool(Pool::new(threads));
+            sharded.set_shards(shards);
+            let mut rng_h = Xoshiro256pp::seed_from_u64(seed);
+            let got = sharded.sample_batch(&requests, &mut rng_h, &excluded);
+            prop_assert_eq!(
+                &got, &expected,
+                "samples diverge on {:?} s{} t{}", kind, shards, threads
+            );
+            prop_assert_eq!(
+                rng_h.next_u64(),
+                rng_m.next_u64(),
+                "RNG diverges on {:?} s{} t{}", kind, shards, threads
+            );
+            let counts = sharded.count_batch(&rects);
+            prop_assert_eq!(
+                &counts, &expected_counts,
+                "counts diverge on {:?} s{}", kind, shards
+            );
+        }
+    }
+
     fn exclusions_are_respected(
         points in points_gen(),
         corners in rect_corners(),

@@ -66,7 +66,7 @@ fn usage(err: &str) -> ExitCode {
         "usage:\n  aide generate --dataset sdss|auction --rows N --out FILE [--seed N]\n  \
          aide describe --csv FILE\n  \
          aide explore --csv FILE --attrs a,b[,c...] [--batch N] [--max-iter N] [--seed N]\n  \
-         \x20             [--trace FILE.jsonl] [--target lo1,lo2:hi1,hi2[;...]] [--max-labels N]\n  \
+         \x20             [--shards N] [--trace FILE.jsonl] [--target lo1,lo2:hi1,hi2[;...]] [--max-labels N]\n  \
          aide query --csv FILE --sql QUERY [--limit N]\n  \
          aide simplify --sql QUERY"
     );
@@ -219,6 +219,8 @@ fn cmd_explore(flags: &Flags) -> Result<(), String> {
     let batch: usize = flags.parse_num("batch", 10)?;
     let max_iter: usize = flags.parse_num("max-iter", 50)?;
     let seed: u64 = flags.parse_num("seed", 7)?;
+    // 0 = auto (one shard per worker thread); `AIDE_SHARDS` overrides.
+    let shards: usize = flags.parse_num("shards", 0)?;
     let view = Arc::new(
         table
             .numeric_view(&attrs)
@@ -229,6 +231,7 @@ fn cmd_explore(flags: &Flags) -> Result<(), String> {
     let trace_path = flags.get("trace");
     let mut config = SessionConfig {
         samples_per_iteration: batch,
+        shards,
         ..SessionConfig::default()
     };
     if trace_path.is_some() {
@@ -253,6 +256,13 @@ fn cmd_explore(flags: &Flags) -> Result<(), String> {
             Arc::clone(&view),
             target,
             Xoshiro256pp::seed_from_u64(seed),
+        );
+        println!(
+            "exploring {} rows over {:?} with {} shard{}",
+            table.num_rows(),
+            attrs,
+            session.shards(),
+            if session.shards() == 1 { "" } else { "s" }
         );
         let result = session.run(StopCondition {
             target_f: None,
@@ -279,11 +289,6 @@ fn cmd_explore(flags: &Flags) -> Result<(), String> {
         return Ok(());
     }
 
-    println!(
-        "exploring {} rows over {:?}; label each shown row y/n, or q to finish\n",
-        table.num_rows(),
-        attrs
-    );
     let table_for_oracle = table.clone();
     let attrs_owned: Vec<String> = attrs.iter().map(|s| s.to_string()).collect();
     let done = std::rc::Rc::new(std::cell::Cell::new(false));
@@ -331,6 +336,13 @@ fn cmd_explore(flags: &Flags) -> Result<(), String> {
         Box::new(oracle),
         None,
         Xoshiro256pp::seed_from_u64(seed),
+    );
+    println!(
+        "exploring {} rows over {:?} with {} shard{}; label each shown row y/n, or q to finish\n",
+        table.num_rows(),
+        attrs,
+        session.shards(),
+        if session.shards() == 1 { "" } else { "s" }
     );
     for _ in 0..max_iter {
         let report = session.run_iteration().clone();

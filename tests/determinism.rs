@@ -9,7 +9,11 @@
 //!
 //! Thread independence is covered by CI's threads matrix, which runs
 //! this file under both `AIDE_THREADS=1` and `AIDE_THREADS=4`: the
-//! fingerprints must hold for any thread count.
+//! fingerprints must hold for any thread count. Shard independence is
+//! covered twice: CI's shard matrix re-runs the whole file under
+//! `AIDE_SHARDS=1` and `AIDE_SHARDS=4` (the environment variable beats
+//! `SessionConfig::shards`), and the in-process matrix tests below pin
+//! each strategy's fingerprint at explicit shard × thread combinations.
 
 use std::sync::Arc;
 
@@ -170,6 +174,105 @@ fn adaptive_session_matches_pre_batching_serial_fingerprint() {
             queries_total: 869,
         },
     );
+}
+
+/// The four pinned fingerprints, in the order of the tests above, with
+/// the config override that produces each.
+fn pinned() -> Vec<(SessionConfig, Fingerprint)> {
+    vec![
+        (
+            SessionConfig::default(),
+            Fingerprint {
+                labeled: 598,
+                relevant: 55,
+                f_bits: 0x3feb2c0397cdb2c0,
+                hash: 0xd5216dd22857e5a1,
+                queries_total: 902,
+            },
+        ),
+        (
+            SessionConfig {
+                discovery_strategy: DiscoveryStrategy::Clustering,
+                ..SessionConfig::default()
+            },
+            Fingerprint {
+                labeled: 598,
+                relevant: 52,
+                f_bits: 0x3feecccccccccccd,
+                hash: 0x38c2a2064a4a9ef1,
+                queries_total: 499,
+            },
+        ),
+        (
+            SessionConfig {
+                discovery_strategy: DiscoveryStrategy::Hybrid,
+                hybrid_switch_after: 8,
+                hybrid_min_hit_rate: 0.3,
+                ..SessionConfig::default()
+            },
+            Fingerprint {
+                labeled: 600,
+                relevant: 77,
+                f_bits: 0x3fee79e79e79e79e,
+                hash: 0xa1bc5285a79b7aa1,
+                queries_total: 764,
+            },
+        ),
+        (
+            SessionConfig {
+                adaptive_misclass_y: true,
+                clustered_misclassified: false,
+                misclass_retire_after: 2,
+                eval_every: 3,
+                ..SessionConfig::default()
+            },
+            Fingerprint {
+                labeled: 600,
+                relevant: 59,
+                f_bits: 0x3fee43112cfbe91a,
+                hash: 0x33205235fe9a270a,
+                queries_total: 869,
+            },
+        ),
+    ]
+}
+
+/// Runs one strategy at explicit (shards, threads) combinations and
+/// asserts the pinned monolithic fingerprint every time. `AIDE_SHARDS` /
+/// `AIDE_THREADS`, when set, beat the config values, so under CI's env
+/// matrix every combination still asserts the same fingerprint — just
+/// at the env-resolved shard and thread counts.
+fn assert_matrix(which: usize, combos: &[(usize, usize)]) {
+    let (config, want) = pinned().swap_remove(which);
+    for &(shards, threads) in combos {
+        let (_, fp) = run_session(SessionConfig {
+            shards,
+            threads,
+            ..config.clone()
+        });
+        assert_fp(&fp, &want);
+    }
+}
+
+#[test]
+fn grid_fingerprint_is_shard_and_thread_invariant() {
+    // (1, 1) is the pinned test above; cover the other three corners.
+    assert_matrix(0, &[(4, 1), (1, 4), (4, 4)]);
+}
+
+#[test]
+fn cluster_fingerprint_is_shard_invariant() {
+    assert_matrix(1, &[(4, 1), (4, 4)]);
+}
+
+#[test]
+fn hybrid_fingerprint_is_shard_invariant() {
+    assert_matrix(2, &[(4, 1), (4, 4)]);
+}
+
+#[test]
+fn adaptive_fingerprint_is_shard_invariant() {
+    assert_matrix(3, &[(4, 1), (4, 4)]);
 }
 
 #[test]
