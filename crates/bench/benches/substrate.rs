@@ -78,6 +78,48 @@ fn main() {
     }
     drop(group);
 
+    // --- Columnar containment kernel -----------------------------------------
+    // The branch-free SoA kernel against an explicit per-row gather +
+    // `Rect::contains` loop over the same view — the row-major access
+    // pattern the kernel replaced. Same 200 k view and rectangle as the
+    // region-query group, so the numbers compose.
+    let mut group = h.group("substrate/columnar");
+    let scan_view = Arc::clone(&view);
+    let scan_rect = rect.clone();
+    group.bench("scan_collect/200k", move || {
+        let mut out = Vec::new();
+        scan_view.scan_rect_into(black_box(&scan_rect), 0, scan_view.len(), &mut out);
+        out.len()
+    });
+    let count_view = Arc::clone(&view);
+    let count_rect = rect.clone();
+    group.bench("scan_count/200k", move || {
+        count_view.count_rect(black_box(&count_rect), 0, count_view.len())
+    });
+    let ref_view = Arc::clone(&view);
+    let ref_rect = rect.clone();
+    group.bench("rowmajor_reference/200k", move || {
+        let mut p = vec![0.0; ref_view.dims()];
+        let mut out: Vec<u32> = Vec::new();
+        for i in 0..ref_view.len() {
+            ref_view.fill_point(i, &mut p);
+            if ref_rect.contains(&p) {
+                out.push(i as u32);
+            }
+        }
+        out.len()
+    });
+    // Sparse candidate list, the sorted/kd/grid residual-filter shape.
+    let candidates: Vec<u32> = (0..view.len() as u32).step_by(3).collect();
+    let filt_view = Arc::clone(&view);
+    let filt_rect = rect.clone();
+    group.bench("candidate_filter/66k_of_200k", move || {
+        let mut out = Vec::new();
+        filt_view.filter_indices_into(black_box(&filt_rect), &candidates, &mut out);
+        out.len()
+    });
+    drop(group);
+
     // --- Parallel hot paths: explicit 1-thread vs 4-thread pools ------------
     // Results are bit-identical across thread counts (aide_util::par); the
     // pairs measure the wall-clock effect alone.

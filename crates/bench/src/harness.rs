@@ -5,6 +5,7 @@
 //! (§6.1); [`run_sweep`] reproduces that protocol with a configurable
 //! session count so quick runs stay quick.
 
+use std::path::Path;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -12,9 +13,10 @@ use aide_core::baseline::run_random;
 use aide_core::{
     ExplorationSession, SessionConfig, SessionResult, SizeClass, StopCondition, TargetQuery,
 };
-use aide_data::{sdss_like, NumericView, Table};
+use aide_data::view::{Domain, SpaceMapper};
+use aide_data::{load_view, sdss_like, write_view, NumericView, Table};
 use aide_index::{ExtractionEngine, IndexKind};
-use aide_util::rng::{SeedStream, Xoshiro256pp};
+use aide_util::rng::{Rng, SeedStream, Xoshiro256pp};
 use aide_util::stats::OnlineStats;
 
 /// Global options for an experiment run.
@@ -61,6 +63,42 @@ pub fn multi_dim_view(table: &Table, dims: usize) -> NumericView {
     table
         .numeric_view(&attrs[..dims])
         .expect("SDSS-like exploration attributes")
+}
+
+/// A `dims`-D uniform view built lane-by-lane — no `Table` detour, so
+/// multi-million-row substrates cost only the lanes themselves (a 10 M-row
+/// 2-D view is ~160 MB of `f64` instead of the ~1.6 GB a full SDSS-like
+/// `Table` of boxed values would take). Deterministic in `(n, dims, seed)`.
+pub fn uniform_lanes_view(n: usize, dims: usize, seed: u64) -> NumericView {
+    let mapper = SpaceMapper::new(
+        (0..dims).map(|d| format!("a{d}")).collect(),
+        vec![Domain::new(0.0, 100.0); dims],
+    );
+    let lanes: Vec<Vec<f64>> = (0..dims)
+        .map(|d| {
+            let mut rng = Xoshiro256pp::seed_from_u64(seed ^ ((d as u64 + 1) * 0xA1DE_5EED));
+            (0..n).map(|_| rng.uniform(0.0, 100.0)).collect()
+        })
+        .collect();
+    NumericView::from_lanes(mapper, lanes, (0..n as u32).collect())
+}
+
+/// [`uniform_lanes_view`] cached as an `aide-view/1` file: loads `path`
+/// when it already holds a matching dataset, otherwise generates the view
+/// and writes it there first. Scale benches call this so repeated runs
+/// stream the dataset from disk instead of regenerating it.
+pub fn cached_uniform_view(path: &Path, n: usize, dims: usize, seed: u64) -> NumericView {
+    if let Ok(view) = load_view(path) {
+        if view.len() == n && view.dims() == dims {
+            return view;
+        }
+    }
+    let view = uniform_lanes_view(n, dims, seed);
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir).expect("create dataset cache directory");
+    }
+    write_view(&view, path).expect("write dataset cache");
+    view
 }
 
 /// One workload instance: a target plus the per-session seed.

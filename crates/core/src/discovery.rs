@@ -560,7 +560,7 @@ impl ClusterDiscovery {
         };
         let mut fit_data = Vec::with_capacity(chosen.len() * self.dims);
         for &i in &chosen {
-            fit_data.extend_from_slice(view.point(i));
+            view.push_point_into(i, &mut fit_data);
         }
         if fit_data.is_empty() {
             // Degenerate (empty range): a single dummy point keeps the

@@ -45,16 +45,20 @@ pub fn evaluate_model_with(
         EVAL_CHUNK,
         |range| {
             let mut m = ConfusionMatrix::default();
+            // One row buffer per chunk: the view stores column lanes, so a
+            // contiguous point is gathered rather than borrowed.
+            let mut p = vec![0.0; view.dims()];
             match model {
                 None => {
                     for i in range {
-                        m.record(false, target.contains(view.point(i)));
+                        view.fill_point(i, &mut p);
+                        m.record(false, target.contains(&p));
                     }
                 }
                 Some(tree) => {
                     for i in range {
-                        let p = view.point(i);
-                        m.record(tree.predict(p), target.contains(p));
+                        view.fill_point(i, &mut p);
+                        m.record(tree.predict(&p), target.contains(&p));
                     }
                 }
             }
@@ -133,8 +137,10 @@ mod tests {
         let v = view(2_000, 2);
         let target = TargetQuery::new(vec![Rect::new(vec![30.0, 30.0], vec![60.0, 60.0])]);
         // Train on the ground truth itself.
-        let labels: Vec<bool> = (0..v.len()).map(|i| target.contains(v.point(i))).collect();
-        let data: Vec<f64> = (0..v.len()).flat_map(|i| v.point(i).to_vec()).collect();
+        let labels: Vec<bool> = (0..v.len())
+            .map(|i| target.contains(&v.point_vec(i)))
+            .collect();
+        let data: Vec<f64> = (0..v.len()).flat_map(|i| v.point_vec(i)).collect();
         let tree = DecisionTree::fit(2, &data, &labels, &TreeParams::default());
         let m = evaluate_model(Some(&tree), &v, &target);
         assert!(m.f_measure() > 0.999, "F = {}", m.f_measure());
@@ -144,8 +150,10 @@ mod tests {
     fn parallel_evaluation_matches_serial_exactly() {
         let v = view(10_000, 3);
         let target = TargetQuery::new(vec![Rect::new(vec![20.0, 20.0], vec![70.0, 55.0])]);
-        let labels: Vec<bool> = (0..2_000).map(|i| target.contains(v.point(i))).collect();
-        let data: Vec<f64> = (0..2_000).flat_map(|i| v.point(i).to_vec()).collect();
+        let labels: Vec<bool> = (0..2_000)
+            .map(|i| target.contains(&v.point_vec(i)))
+            .collect();
+        let data: Vec<f64> = (0..2_000).flat_map(|i| v.point_vec(i)).collect();
         let tree = DecisionTree::fit(2, &data, &labels, &TreeParams::default());
         for model in [None, Some(&tree)] {
             let serial = evaluate_model_with(model, &v, &target, &Pool::serial());

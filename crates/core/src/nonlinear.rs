@@ -119,7 +119,7 @@ impl NonLinearInterest {
         while regions.len() < num {
             attempts += 1;
             assert!(attempts < 10_000, "could not place {num} disjoint regions");
-            let center = view.point(rng.index(view.len())).to_vec();
+            let center = view.point_vec(rng.index(view.len()));
             let radii: Vec<f64> = (0..dims).map(|_| rng.uniform(r_lo, r_hi)).collect();
             let candidate = Ellipsoid::new(center, radii);
             // Disjointness via a conservative bounding-box test with a
@@ -155,7 +155,13 @@ impl NonLinearInterest {
 
     /// Number of relevant tuples in a view.
     pub fn count_relevant(&self, view: &NumericView) -> usize {
-        view.iter().filter(|(_, p)| self.contains(p)).count()
+        let mut p = vec![0.0; view.dims()];
+        (0..view.len())
+            .filter(|&i| {
+                view.fill_point(i, &mut p);
+                self.contains(&p)
+            })
+            .count()
     }
 }
 
@@ -201,15 +207,18 @@ pub fn evaluate_nonlinear(
     interest: &NonLinearInterest,
 ) -> ConfusionMatrix {
     let mut m = ConfusionMatrix::default();
+    let mut p = vec![0.0; view.dims()];
     match model {
         None => {
-            for (_, p) in view.iter() {
-                m.record(false, interest.contains(p));
+            for i in 0..view.len() {
+                view.fill_point(i, &mut p);
+                m.record(false, interest.contains(&p));
             }
         }
         Some(tree) => {
-            for (_, p) in view.iter() {
-                m.record(tree.predict(p), interest.contains(p));
+            for i in 0..view.len() {
+                view.fill_point(i, &mut p);
+                m.record(tree.predict(&p), interest.contains(&p));
             }
         }
     }

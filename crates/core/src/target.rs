@@ -104,7 +104,7 @@ impl TargetQuery {
                 attempts < 10_000,
                 "could not place {num_areas} disjoint {size_class:?} areas"
             );
-            let anchor = view.point(rng.index(view.len()));
+            let anchor = view.point_vec(rng.index(view.len()));
             let mut lo = Vec::with_capacity(dims);
             let mut hi = Vec::with_capacity(dims);
             for (d, &center) in anchor.iter().enumerate() {
@@ -200,7 +200,13 @@ impl TargetQuery {
 
     /// Number of relevant tuples in a view.
     pub fn count_relevant(&self, view: &NumericView) -> usize {
-        view.iter().filter(|(_, p)| self.contains(p)).count()
+        let mut p = vec![0.0; view.dims()];
+        (0..view.len())
+            .filter(|&i| {
+                view.fill_point(i, &mut p);
+                self.contains(&p)
+            })
+            .count()
     }
 }
 

@@ -36,9 +36,9 @@ pub fn render_2d(
     assert!(width > 0 && height > 0, "empty canvas");
     // Per-cell point counts.
     let mut counts = vec![0u32; width * height];
-    for (_, p) in view.iter() {
-        let cx = ((p[0] / 100.0 * width as f64) as usize).min(width - 1);
-        let cy = ((p[1] / 100.0 * height as f64) as usize).min(height - 1);
+    for i in 0..view.len() {
+        let cx = ((view.coord(i, 0) / 100.0 * width as f64) as usize).min(width - 1);
+        let cy = ((view.coord(i, 1) / 100.0 * height as f64) as usize).min(height - 1);
         counts[cy * width + cx] += 1;
     }
     let max_count = counts.iter().copied().max().unwrap_or(0).max(1);

@@ -40,6 +40,9 @@ pub enum DataError {
     },
     /// Underlying I/O failure.
     Io(std::io::Error),
+    /// A malformed `aide-view/1` dataset file (bad magic, truncated lane,
+    /// trailing garbage, …).
+    Format(String),
 }
 
 impl fmt::Display for DataError {
@@ -69,6 +72,7 @@ impl fmt::Display for DataError {
             }
             DataError::Csv { line, message } => write!(f, "CSV error at line {line}: {message}"),
             DataError::Io(e) => write!(f, "I/O error: {e}"),
+            DataError::Format(message) => write!(f, "invalid aide-view file: {message}"),
         }
     }
 }

@@ -12,6 +12,7 @@ pub mod describe;
 pub mod error;
 pub mod generator;
 pub mod schema;
+pub mod store;
 pub mod table;
 pub mod value;
 pub mod view;
@@ -21,6 +22,7 @@ pub use describe::ColumnSummary;
 pub use error::{DataError, Result};
 pub use generator::{auction_like, sdss_like, ColumnSpec, DatasetSpec};
 pub use schema::{Field, Schema};
+pub use store::{load_view, write_view};
 pub use table::{Table, TableBuilder};
 pub use value::{DataType, Value};
 pub use view::{Domain, NumericView, SpaceMapper};

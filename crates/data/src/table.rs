@@ -106,18 +106,24 @@ impl Table {
                 Ok(&self.columns[idx])
             })
             .collect::<Result<Vec<_>>>()?;
-        let dims = attrs.len();
-        let mut data = Vec::with_capacity(self.rows * dims);
-        for row in 0..self.rows {
-            for (col, dom) in cols.iter().zip(&domains) {
-                let v = col.f64_at(row).expect("checked numeric above");
-                data.push(dom.normalize(v));
-            }
-        }
+        // Build the column lanes directly: one normalization sweep per
+        // attribute, writing straight into the view's native layout.
+        let lanes: Vec<Vec<f64>> = cols
+            .iter()
+            .zip(&domains)
+            .map(|(col, dom)| {
+                (0..self.rows)
+                    .map(|row| {
+                        let v = col.f64_at(row).expect("checked numeric above");
+                        dom.normalize(v)
+                    })
+                    .collect()
+            })
+            .collect();
         let mapper = SpaceMapper::new(attrs.iter().map(|s| (*s).to_owned()).collect(), domains);
-        Ok(NumericView::new(
+        Ok(NumericView::from_lanes(
             mapper,
-            data,
+            lanes,
             (0..self.rows as u32).collect(),
         ))
     }
@@ -313,8 +319,8 @@ mod tests {
         assert_eq!(view.len(), 4);
         assert_eq!(view.dims(), 2);
         // Youngest patient normalizes to 0 on age; oldest to 100.
-        assert_eq!(view.point(2)[0], 0.0);
-        assert_eq!(view.point(3)[0], 100.0);
+        assert_eq!(view.coord(2, 0), 0.0);
+        assert_eq!(view.coord(3, 0), 100.0);
         // Text attributes are rejected.
         assert!(matches!(
             t.numeric_view(&["age", "outcome"]),

@@ -49,7 +49,8 @@ use aide_util::rng::{Rng, Xoshiro256pp};
 use aide_util::trace::Tracer;
 
 use crate::{
-    CountOutput, GridIndex, KdTree, QueryOutput, RegionCache, RegionIndex, ScanIndex, SortedIndex,
+    CacheStats, CountOutput, GridIndex, KdTree, QueryOutput, RegionCache, RegionIndex, ScanIndex,
+    SortedIndex,
 };
 
 /// Which access path the engine uses.
@@ -114,11 +115,14 @@ pub struct ExtractionStats {
 
 /// One horizontal partition of a sharded engine: a contiguous row-range
 /// view, its own index built against the *full* view's layout, and its
-/// own result cache. Every shard cache sees the same lookup/insert
-/// sequence as every other's (and they saturate
+/// own result cache. Until rows are appended, every shard cache sees the
+/// same lookup/insert sequence as every other's (and they saturate
 /// [`RegionCache::MAX_ENTRIES`](crate::RegionCache::MAX_ENTRIES)
 /// simultaneously), so cache hits are all-or-nothing across shards and
 /// the engine's hit/miss accounting matches the monolithic engine's.
+/// [`ExtractionEngine::append_rows`] clears only the tail shard's cache;
+/// a partially cached rectangle then counts as a miss and re-queries (and
+/// re-caches) every shard, restoring lockstep for that key.
 struct Shard {
     view: NumericView,
     /// Index of this shard's first row in the full view; merged outputs
@@ -140,6 +144,12 @@ pub struct ExtractionEngine {
     tracer: Tracer,
     /// Empty = monolithic (the default); `n ≥ 2` entries = sharded.
     shards: Vec<Shard>,
+    /// Grid bucket resolution the shard layout was frozen at by
+    /// [`ExtractionEngine::set_shards`]; [`ExtractionEngine::append_rows`]
+    /// rebuilds the tail shard at this resolution so every shard keeps the
+    /// same cell layout (the run-interleave merge depends on it). 0 when
+    /// monolithic.
+    shard_grid_resolution: usize,
     /// Per-shard cumulative `tuples_examined`, maintained only when
     /// sharded; batch calls emit the per-wave deltas in trace events.
     shard_examined_total: Vec<u64>,
@@ -177,12 +187,7 @@ impl ExtractionEngine {
     /// explicit worker pool (kept for batch calls). Indexes and batch
     /// results are identical for any thread count.
     pub fn from_arc_with(view: Arc<NumericView>, kind: IndexKind, pool: &Pool) -> Self {
-        let index: Box<dyn RegionIndex> = match kind {
-            IndexKind::Grid => Box::new(GridIndex::build_with(&view, pool)),
-            IndexKind::KdTree => Box::new(KdTree::build_with(&view, pool)),
-            IndexKind::Sorted => Box::new(SortedIndex::build_with(&view, pool)),
-            IndexKind::Scan => Box::new(ScanIndex::new()),
-        };
+        let index = build_index(&view, kind, pool);
         Self {
             view,
             index,
@@ -193,6 +198,7 @@ impl ExtractionEngine {
             cache_enabled: true,
             tracer: Tracer::disabled(),
             shards: Vec::new(),
+            shard_grid_resolution: 0,
             shard_examined_total: Vec::new(),
         }
     }
@@ -264,6 +270,7 @@ impl ExtractionEngine {
             return;
         }
         self.shards = Vec::new();
+        self.shard_grid_resolution = 0;
         self.shard_examined_total = Vec::new();
         if n_shards == 1 {
             return;
@@ -271,9 +278,13 @@ impl ExtractionEngine {
         let full_len = self.view.len();
         let dims = self.view.dims();
         let kind = self.kind;
+        // Frozen for the lifetime of this shard layout: appended rows must
+        // not shift the grid bucket resolution under the peer shards.
+        let grid_resolution = GridIndex::heuristic_resolution(full_len, dims);
+        self.shard_grid_resolution = grid_resolution;
         let shard_views = self.view.partition(n_shards);
         let indexes: Vec<Box<dyn RegionIndex>> = self.pool.par_map_collect(n_shards, 1, |r| {
-            r.map(|s| build_shard_index(&shard_views[s], kind, full_len, dims))
+            r.map(|s| build_shard_index(&shard_views[s], kind, grid_resolution))
                 .collect()
         });
         self.shards = shard_views
@@ -288,6 +299,54 @@ impl ExtractionEngine {
             })
             .collect();
         self.shard_examined_total = vec![0; n_shards];
+    }
+
+    /// Appends rows (normalized row-major data plus source row ids) to the
+    /// engine's view and reindexes **incrementally**.
+    ///
+    /// A monolithic engine rebuilds its whole index and drops its cache —
+    /// equivalent to a fresh engine over the extended view. A sharded
+    /// engine instead freezes the layout chosen at
+    /// [`ExtractionEngine::set_shards`] time: existing shard boundaries
+    /// (and the grid bucket resolution) stay put, the new rows extend only
+    /// the **tail** shard's view, and only that shard's [`RegionIndex`] is
+    /// rebuilt and its [`RegionCache`] cleared. Peer shards keep their
+    /// indexes, their cache entries *and* their hit/miss counters: their
+    /// row ranges did not change, so every cached result is still exact.
+    /// `shard_bounds` being pure in `len` is what makes the tail extension
+    /// local — the historical boundaries remain a valid contiguous
+    /// partition of the grown view.
+    ///
+    /// After an append the shard caches are no longer in lockstep (the
+    /// tail starts cold); a partially cached rectangle counts as a miss
+    /// and re-queries every shard, overwriting all entries for that key.
+    ///
+    /// If other handles to the view exist (see
+    /// [`ExtractionEngine::view_arc`]), the engine clones the view first
+    /// (copy-on-write); external handles keep seeing the pre-append rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` is not a multiple of the dimensionality or
+    /// disagrees with `row_ids.len()`.
+    pub fn append_rows(&mut self, data: &[f64], row_ids: &[u32]) {
+        Arc::make_mut(&mut self.view).append_rows(data, row_ids);
+        if self.shards.is_empty() {
+            self.index = build_index(&self.view, self.kind, &self.pool);
+            self.cache = RegionCache::new();
+            return;
+        }
+        let tail = self.shards.last_mut().expect("sharded engine has shards");
+        tail.view.append_rows(data, row_ids);
+        tail.index = build_shard_index(&tail.view, self.kind, self.shard_grid_resolution);
+        tail.cache = RegionCache::new();
+    }
+
+    /// Per-shard cache hit/miss counters, in shard order (empty when
+    /// monolithic). Diagnostics for the append path: untouched shards keep
+    /// their counters across [`ExtractionEngine::append_rows`].
+    pub fn shard_cache_stats(&self) -> Vec<CacheStats> {
+        self.shards.iter().map(|s| s.cache.stats()).collect()
     }
 
     /// The tracer batch calls emit `wave` events to (disabled by default).
@@ -384,18 +443,16 @@ impl ExtractionEngine {
     }
 
     /// Probes every shard cache for `rect` — every one, even after a miss,
-    /// so the per-shard tallies stay in lockstep — and merges the parts on
-    /// an (all-or-nothing) hit.
+    /// so the per-shard tallies stay aligned — and merges the parts only
+    /// when **all** shards hit. A partial hit (possible after
+    /// [`ExtractionEngine::append_rows`] cleared the tail shard's cache)
+    /// counts as a miss; the caller re-queries and re-caches every shard.
     fn sharded_cached_query(&mut self, key: &RectKey) -> Option<Arc<QueryOutput>> {
         let mut parts = Vec::with_capacity(self.shards.len());
         for shard in self.shards.iter_mut() {
             parts.push(shard.cache.get_query(key));
         }
         if parts.iter().any(Option::is_none) {
-            debug_assert!(
-                parts.iter().all(Option::is_none),
-                "shard caches move in lockstep"
-            );
             return None;
         }
         let parts: Vec<Arc<QueryOutput>> = parts.into_iter().flatten().collect();
@@ -409,10 +466,6 @@ impl ExtractionEngine {
             parts.push(shard.cache.get_count(key));
         }
         if parts.iter().any(Option::is_none) {
-            debug_assert!(
-                parts.iter().all(Option::is_none),
-                "shard caches move in lockstep"
-            );
             return None;
         }
         let (mut count, mut examined) = (0, 0);
@@ -609,7 +662,7 @@ impl ExtractionEngine {
             .map(|i| Sample {
                 view_index: i,
                 row_id: self.view.row_id(i as usize),
-                point: self.view.point(i as usize).to_vec(),
+                point: self.view.point_vec(i as usize),
             })
             .collect()
     }
@@ -909,25 +962,31 @@ impl ExtractionEngine {
     }
 }
 
-/// Builds one shard's access path. Grid shards build at the *full* view's
-/// heuristic resolution with run recording on ([`GridIndex::build_shard`])
-/// so their bucket layouts — and query visit orders — line up with the
-/// monolithic index's; the other kinds return ascending view order, which
-/// merges by concatenation. Builds are serial: [`ExtractionEngine::set_shards`]
-/// parallelizes *across* shards.
+/// Builds the monolithic access path for `view` on `pool`.
+fn build_index(view: &NumericView, kind: IndexKind, pool: &Pool) -> Box<dyn RegionIndex> {
+    match kind {
+        IndexKind::Grid => Box::new(GridIndex::build_with(view, pool)),
+        IndexKind::KdTree => Box::new(KdTree::build_with(view, pool)),
+        IndexKind::Sorted => Box::new(SortedIndex::build_with(view, pool)),
+        IndexKind::Scan => Box::new(ScanIndex::new()),
+    }
+}
+
+/// Builds one shard's access path. Grid shards build at the engine's
+/// frozen `grid_resolution` (the full view's heuristic resolution at
+/// [`ExtractionEngine::set_shards`] time) with run recording on
+/// ([`GridIndex::build_shard`]) so their bucket layouts — and query visit
+/// orders — line up across shards; the other kinds return ascending view
+/// order, which merges by concatenation. Builds are serial:
+/// [`ExtractionEngine::set_shards`] parallelizes *across* shards.
 fn build_shard_index(
     view: &NumericView,
     kind: IndexKind,
-    full_len: usize,
-    dims: usize,
+    grid_resolution: usize,
 ) -> Box<dyn RegionIndex> {
     let serial = Pool::serial();
     match kind {
-        IndexKind::Grid => Box::new(GridIndex::build_shard(
-            view,
-            GridIndex::heuristic_resolution(full_len, dims),
-            &serial,
-        )),
+        IndexKind::Grid => Box::new(GridIndex::build_shard(view, grid_resolution, &serial)),
         IndexKind::KdTree => Box::new(KdTree::build_with(view, &serial)),
         IndexKind::Sorted => Box::new(SortedIndex::build_with(view, &serial)),
         IndexKind::Scan => Box::new(ScanIndex::new()),

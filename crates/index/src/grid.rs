@@ -97,14 +97,14 @@ impl GridIndex {
         }
         let mut cells = vec![Vec::new(); total_cells(resolution, dims)];
         if pool.is_serial() || view.len() < Self::PAR_BUILD_MIN_POINTS {
-            for (i, point) in view.iter() {
-                let cell = Self::cell_of(point, resolution);
+            for i in 0..view.len() {
+                let cell = Self::cell_of(view, i, resolution);
                 cells[cell].push(i as u32);
             }
         } else {
             let ids = pool.par_map_collect(view.len(), Self::BUILD_CHUNK, |range| {
                 range
-                    .map(|i| Self::cell_of(view.point(i), resolution))
+                    .map(|i| Self::cell_of(view, i, resolution))
                     .collect()
             });
             for (i, cell) in ids.into_iter().enumerate() {
@@ -124,10 +124,11 @@ impl GridIndex {
         self.resolution
     }
 
-    /// Flat cell id of a normalized point.
-    fn cell_of(point: &[f64], resolution: usize) -> usize {
+    /// Flat cell id of point `i`, read lane-by-lane.
+    fn cell_of(view: &NumericView, i: usize, resolution: usize) -> usize {
         let mut id = 0usize;
-        for &x in point {
+        for d in 0..view.dims() {
+            let x = view.coord(i, d);
             let b = ((x / 100.0 * resolution as f64) as usize).min(resolution - 1);
             id = id * resolution + b;
         }
@@ -183,11 +184,9 @@ impl RegionIndex for GridIndex {
                     indices.extend_from_slice(cell);
                 } else {
                     examined += cell.len();
-                    indices.extend(
-                        cell.iter()
-                            .copied()
-                            .filter(|&i| rect.contains(view.point(i as usize))),
-                    );
+                    // Kernel sweep preserves the cell's bucket order, which
+                    // is what the sharded run-interleave merge relies on.
+                    view.filter_indices_into(rect, cell, &mut indices);
                 }
             }
             if self.record_runs {
@@ -237,10 +236,7 @@ impl RegionIndex for GridIndex {
                     count += cell.len();
                 } else {
                     examined += cell.len();
-                    count += cell
-                        .iter()
-                        .filter(|&&i| rect.contains(view.point(i as usize)))
-                        .count();
+                    count += view.count_indices(rect, cell);
                 }
             }
             let mut d = self.dims;

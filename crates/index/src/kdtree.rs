@@ -145,10 +145,11 @@ impl KdTree {
         let mut best_dim = 0;
         let mut best_spread = -1.0;
         for d in 0..dims {
+            let lane = view.lane(d);
             let mut lo = f64::INFINITY;
             let mut hi = f64::NEG_INFINITY;
             for &i in indices.iter() {
-                let v = view.point(i as usize)[d];
+                let v = lane[i as usize];
                 lo = lo.min(v);
                 hi = hi.max(v);
             }
@@ -161,13 +162,14 @@ impl KdTree {
             // All points identical along every dimension: cannot split.
             return None;
         }
+        let lane = view.lane(best_dim);
         let mid = indices.len() / 2;
         indices.select_nth_unstable_by(mid, |&a, &b| {
-            view.point(a as usize)[best_dim]
-                .partial_cmp(&view.point(b as usize)[best_dim])
+            lane[a as usize]
+                .partial_cmp(&lane[b as usize])
                 .expect("normalized coordinates are finite")
         });
-        let split_value = view.point(indices[mid] as usize)[best_dim];
+        let split_value = lane[indices[mid] as usize];
         // Partition strictly: everything <= split goes left. The median
         // element itself may have duplicates on both sides of `mid`, so
         // re-partition to keep the invariant exact.
@@ -202,10 +204,11 @@ fn append_subtree(nodes: &mut Vec<Node>, mut sub: Vec<Node>, root: usize) -> usi
 /// Reorders `indices` so points with `point[dim] <= value` come first;
 /// returns the boundary position.
 fn partition_by_value(view: &NumericView, indices: &mut [u32], dim: usize, value: f64) -> usize {
+    let lane = view.lane(dim);
     let mut lo = 0usize;
     let mut hi = indices.len();
     while lo < hi {
-        if view.point(indices[lo] as usize)[dim] <= value {
+        if lane[indices[lo] as usize] <= value {
             lo += 1;
         } else {
             hi -= 1;
@@ -232,12 +235,7 @@ impl RegionIndex for KdTree {
             match &self.nodes[node] {
                 Node::Leaf { indices: bucket } => {
                     examined += bucket.len();
-                    indices.extend(
-                        bucket
-                            .iter()
-                            .copied()
-                            .filter(|&i| rect.contains(view.point(i as usize))),
-                    );
+                    view.filter_indices_into(rect, bucket, &mut indices);
                 }
                 Node::Split {
                     dim,
@@ -282,10 +280,7 @@ impl RegionIndex for KdTree {
             match &self.nodes[node] {
                 Node::Leaf { indices: bucket } => {
                     examined += bucket.len();
-                    count += bucket
-                        .iter()
-                        .filter(|&&i| rect.contains(view.point(i as usize)))
-                        .count();
+                    count += view.count_indices(rect, bucket);
                 }
                 Node::Split {
                     dim,

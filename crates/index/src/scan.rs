@@ -24,11 +24,11 @@ impl ScanIndex {
 
 impl RegionIndex for ScanIndex {
     fn query(&self, view: &NumericView, rect: &Rect) -> QueryOutput {
-        let indices = view
-            .iter()
-            .filter(|(_, p)| rect.contains(p))
-            .map(|(i, _)| i as u32)
-            .collect();
+        // The columnar containment kernel sweeps every lane in ascending
+        // row order — the same output (and the same examined count) as the
+        // old per-row filter loop, minus the branches.
+        let mut indices = Vec::new();
+        view.scan_rect_into(rect, 0, view.len(), &mut indices);
         QueryOutput {
             indices,
             examined: view.len(),
@@ -37,9 +37,8 @@ impl RegionIndex for ScanIndex {
     }
 
     fn count(&self, view: &NumericView, rect: &Rect) -> CountOutput {
-        let count = view.iter().filter(|(_, p)| rect.contains(p)).count();
         CountOutput {
-            count,
+            count: view.count_rect(rect, 0, view.len()),
             examined: view.len(),
         }
     }

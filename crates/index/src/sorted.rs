@@ -47,13 +47,14 @@ impl SortedIndex {
         let dims = view.dims();
         let n = view.len();
         let sort_dim = |d: usize| {
+            let lane = view.lane(d);
             let mut order: Vec<u32> = (0..n as u32).collect();
             order.sort_unstable_by(|&a, &b| {
-                view.point(a as usize)[d]
-                    .partial_cmp(&view.point(b as usize)[d])
+                lane[a as usize]
+                    .partial_cmp(&lane[b as usize])
                     .expect("normalized coordinates are finite")
             });
-            let values = order.iter().map(|&i| view.point(i as usize)[d]).collect();
+            let values = order.iter().map(|&i| lane[i as usize]).collect();
             SortedColumn {
                 values,
                 indices: order,
@@ -99,11 +100,8 @@ impl RegionIndex for SortedIndex {
         }
         let col = &self.columns[best_d];
         let candidates = &col.indices[best_range.0..best_range.1];
-        let mut indices: Vec<u32> = candidates
-            .iter()
-            .copied()
-            .filter(|&i| rect.contains(view.point(i as usize)))
-            .collect();
+        let mut indices: Vec<u32> = Vec::new();
+        view.filter_indices_into(rect, candidates, &mut indices);
         // Canonicalize to ascending view order: the scan dimension (and so
         // the sorted-run order) can differ between a shard's index and the
         // monolithic one; a fixed order is what lets the sharded engine
@@ -134,10 +132,7 @@ impl RegionIndex for SortedIndex {
             }
         }
         let candidates = &self.columns[best_d].indices[best_range.0..best_range.1];
-        let count = candidates
-            .iter()
-            .filter(|&&i| rect.contains(view.point(i as usize)))
-            .count();
+        let count = view.count_indices(rect, candidates);
         CountOutput {
             count,
             examined: candidates.len(),

@@ -281,4 +281,242 @@ forall! {
             prop_assert!(!excluded.contains(&s.row_id));
         }
     }
+
+    /// The columnar containment kernel is the row-major filter, bit for
+    /// bit: for arbitrary dimensionality, data, rectangle, shard count
+    /// and thread count, `scan_rect_into`/`count_rect`/the order-
+    /// preserving candidate filter — and every engine access path built
+    /// on them — agree with an explicit row-major `Rect::contains` loop
+    /// over the original flat array.
+    fn columnar_kernel_matches_row_major_reference(
+        raw in gen::vec_of(gen::f64_in(0.0..100.0), 0..600),
+        corners_raw in gen::vec_of(gen::f64_in(0.0..100.0), 8..9),
+        dims in gen::usize_in(1..5),
+        shards in gen::usize_in(1..5),
+        threads in gen::usize_in(1..5),
+    ) {
+        let n = raw.len() / dims;
+        let data = &raw[..n * dims];
+        let rect = Rect::new(
+            (0..dims).map(|d| corners_raw[2 * d].min(corners_raw[2 * d + 1])).collect(),
+            (0..dims).map(|d| corners_raw[2 * d].max(corners_raw[2 * d + 1])).collect(),
+        );
+        let make_view = || {
+            let mapper = SpaceMapper::new(
+                (0..dims).map(|d| format!("a{d}")).collect(),
+                vec![Domain::new(0.0, 100.0); dims],
+            );
+            NumericView::new(mapper, data.to_vec(), (0..n as u32).collect())
+        };
+        let view = make_view();
+
+        // Row-major reference: the pre-columnar per-row filter.
+        let expected: Vec<u32> = (0..n)
+            .filter(|&i| rect.contains(&data[i * dims..(i + 1) * dims]))
+            .map(|i| i as u32)
+            .collect();
+
+        let mut got = Vec::new();
+        view.scan_rect_into(&rect, 0, n, &mut got);
+        prop_assert_eq!(&got, &expected, "scan_rect_into");
+        prop_assert_eq!(view.count_rect(&rect, 0, n), expected.len(), "count_rect");
+
+        // Sub-range sweeps partition the full answer.
+        let mid = n / 2;
+        let mut halves = Vec::new();
+        view.scan_rect_into(&rect, 0, mid, &mut halves);
+        view.scan_rect_into(&rect, mid, n, &mut halves);
+        prop_assert_eq!(&halves, &expected, "sub-range partition");
+
+        // The candidate filter preserves an arbitrary candidate order.
+        let reversed: Vec<u32> = (0..n as u32).rev().collect();
+        let mut filtered = Vec::new();
+        view.filter_indices_into(&rect, &reversed, &mut filtered);
+        let mut expected_rev = expected.clone();
+        expected_rev.reverse();
+        prop_assert_eq!(&filtered, &expected_rev, "candidate order");
+        prop_assert_eq!(view.count_indices(&rect, &reversed), expected.len());
+
+        // Every access path (sharded or not, any thread count) agrees.
+        let kinds = [
+            IndexKind::Grid,
+            IndexKind::KdTree,
+            IndexKind::Sorted,
+            IndexKind::Scan,
+        ];
+        for kind in kinds {
+            let mut engine = ExtractionEngine::new(make_view(), kind);
+            engine.set_pool(Pool::new(threads));
+            if shards > 1 {
+                engine.set_shards(shards);
+            }
+            prop_assert_eq!(
+                engine.count_in(&rect),
+                expected.len(),
+                "engine {:?} s{} t{}", kind, shards, threads
+            );
+        }
+    }
+
+    /// Growing an engine with `append_rows` is observationally identical
+    /// to building a fresh engine over the concatenated data — for every
+    /// index kind, shard count and thread count, and regardless of how
+    /// the rows are split between the initial build and the append.
+    ///
+    /// Scan/kd/sorted emit in ascending view order, so their samples are
+    /// bit-identical to the fresh engine's. A sharded grid keeps the
+    /// bucket resolution frozen at `set_shards` time, so after an append
+    /// its (deterministic, self-consistent) candidate order can differ
+    /// from a fresh engine whose resolution saw the grown length — the
+    /// extracted *set* must still match, which exhausting the rectangle
+    /// (`n = len`) checks exactly.
+    fn appended_engine_matches_fresh_engine(
+        points in points_gen(),
+        extra in points_gen(),
+        all_corners in gen::vec_of(rect_corners(), 0..4),
+        n in gen::usize_in(0..20),
+        seed in gen::any_u64(),
+        shards in gen::usize_in(1..5),
+        threads in gen::usize_in(1..5),
+    ) {
+        let mut all = points.clone();
+        all.extend_from_slice(&extra);
+        let rects: Vec<Rect> = all_corners.iter().map(rect_from).collect();
+        let appended_data: Vec<f64> = extra.iter().flat_map(|&(x, y)| [x, y]).collect();
+        let appended_ids: Vec<u32> = (points.len()..all.len()).map(|i| i as u32).collect();
+        let kinds = [
+            IndexKind::Grid,
+            IndexKind::KdTree,
+            IndexKind::Sorted,
+            IndexKind::Scan,
+        ];
+        for kind in kinds {
+            let mut fresh = ExtractionEngine::new(view_from(&all), kind);
+            fresh.set_pool(Pool::serial());
+
+            let mut grown = ExtractionEngine::new(view_from(&points), kind);
+            grown.set_pool(Pool::new(threads));
+            if shards > 1 {
+                grown.set_shards(shards);
+            }
+            // Warm the caches pre-append: stale hits would show up below.
+            for rect in &rects {
+                let _ = grown.count_in(rect);
+            }
+            grown.append_rows(&appended_data, &appended_ids);
+
+            let mut rng_f = Xoshiro256pp::seed_from_u64(seed);
+            let mut rng_g = Xoshiro256pp::seed_from_u64(seed);
+            for rect in &rects {
+                prop_assert_eq!(
+                    grown.count_in(rect),
+                    fresh.count_in(rect),
+                    "count diverges on {:?} s{} t{}", kind, shards, threads
+                );
+                if matches!(kind, IndexKind::Grid) && shards > 1 {
+                    // Set equality via exhaustive sampling (see above).
+                    let mut got: Vec<u32> = grown
+                        .sample_in(rect, all.len(), &mut rng_g)
+                        .iter()
+                        .map(|s| s.row_id)
+                        .collect();
+                    let mut want: Vec<u32> = fresh
+                        .sample_in(rect, all.len(), &mut rng_f)
+                        .iter()
+                        .map(|s| s.row_id)
+                        .collect();
+                    got.sort_unstable();
+                    want.sort_unstable();
+                    prop_assert_eq!(
+                        &got, &want,
+                        "grid sets diverge s{} t{}", shards, threads
+                    );
+                } else {
+                    prop_assert_eq!(
+                        grown.sample_in(rect, n, &mut rng_g),
+                        fresh.sample_in(rect, n, &mut rng_f),
+                        "samples diverge on {:?} s{} t{}", kind, shards, threads
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// `append_rows` on a sharded engine rebuilds only the tail shard: peer
+/// shards keep their indexes, cache entries and hit/miss counters.
+#[test]
+fn append_rebuilds_only_the_tail_shard() {
+    let mut rng = Xoshiro256pp::seed_from_u64(42);
+    let points: Vec<(f64, f64)> = (0..600)
+        .map(|_| (rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)))
+        .collect();
+    let mut engine = ExtractionEngine::new(view_from(&points), IndexKind::Grid);
+    engine.set_shards(3);
+    let rect = Rect::new(vec![10.0, 10.0], vec![80.0, 80.0]);
+
+    let cold = engine.count_in(&rect); // every shard cache: one miss
+    assert_eq!(engine.count_in(&rect), cold); // every shard cache: one hit
+    let before = engine.shard_cache_stats();
+    assert_eq!(before.len(), 3);
+    for (s, stats) in before.iter().enumerate() {
+        assert_eq!((stats.hits, stats.misses), (1, 1), "shard {s} pre-append");
+    }
+
+    // Append one point that lands inside the rectangle.
+    engine.append_rows(&[50.0, 50.0], &[points.len() as u32]);
+    let after = engine.shard_cache_stats();
+    // Peer shards keep their counters (their caches were not rebuilt)…
+    assert_eq!(after[0], before[0], "peer shard 0 cache was disturbed");
+    assert_eq!(after[1], before[1], "peer shard 1 cache was disturbed");
+    // …while the tail shard starts cold.
+    assert_eq!((after[2].hits, after[2].misses), (0, 0), "tail not reset");
+
+    // The appended row is visible; a partially warm rectangle counts as
+    // a miss, re-queries every shard, and restores cache lockstep.
+    assert_eq!(engine.count_in(&rect), cold + 1);
+    let partial = engine.shard_cache_stats();
+    for (s, stats) in partial.iter().enumerate().take(2) {
+        assert_eq!((stats.hits, stats.misses), (2, 1), "peer shard {s}");
+    }
+    assert_eq!((partial[2].hits, partial[2].misses), (0, 1), "tail shard");
+    assert_eq!(engine.count_in(&rect), cold + 1); // fully warm again
+    let warm = engine.shard_cache_stats();
+    for (s, (w, p)) in warm.iter().zip(&partial).enumerate() {
+        assert_eq!(w.hits, p.hits + 1, "shard {s} missed after lockstep restore");
+        assert_eq!(w.misses, p.misses, "shard {s} re-queried after restore");
+    }
+}
+
+/// A monolithic engine grown by `append_rows` rebuilds its whole index —
+/// equivalent to a fresh engine over the extended view.
+#[test]
+fn monolithic_append_matches_fresh_engine() {
+    let mut rng = Xoshiro256pp::seed_from_u64(43);
+    let points: Vec<(f64, f64)> = (0..400)
+        .map(|_| (rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)))
+        .collect();
+    let (head, tail) = points.split_at(300);
+    let rect = Rect::new(vec![20.0, 20.0], vec![70.0, 70.0]);
+    for kind in [
+        IndexKind::Grid,
+        IndexKind::KdTree,
+        IndexKind::Sorted,
+        IndexKind::Scan,
+    ] {
+        let mut fresh = ExtractionEngine::new(view_from(&points), kind);
+        let mut grown = ExtractionEngine::new(view_from(head), kind);
+        let _ = grown.count_in(&rect); // warm the soon-stale cache
+        let data: Vec<f64> = tail.iter().flat_map(|&(x, y)| [x, y]).collect();
+        let ids: Vec<u32> = (head.len()..points.len()).map(|i| i as u32).collect();
+        grown.append_rows(&data, &ids);
+        assert_eq!(grown.count_in(&rect), fresh.count_in(&rect), "{kind:?}");
+        let mut rng_f = Xoshiro256pp::seed_from_u64(7);
+        let mut rng_g = Xoshiro256pp::seed_from_u64(7);
+        assert_eq!(
+            grown.sample_in(&rect, 12, &mut rng_g),
+            fresh.sample_in(&rect, 12, &mut rng_f),
+            "{kind:?}"
+        );
+    }
 }

@@ -5,9 +5,17 @@
 //! aide explore  --csv sky.csv --attrs rowc,colc
 //! aide explore  --csv sky.csv --attrs rowc,colc \
 //!               --target "820,1230:1000,1400" --trace session.jsonl
+//! aide dataset pack --csv sky.csv --attrs rowc,colc --out sky.aideview
+//! aide dataset info --view sky.aideview
 //! aide query    --csv sky.csv --sql "SELECT * FROM data WHERE rowc < 500"
 //! aide simplify --sql "SELECT * FROM t WHERE a >= 1 AND a >= 2"
 //! ```
+//!
+//! `dataset pack` freezes a CSV projection into the columnar
+//! `aide-view/1` binary format (lane-major `f64` bit patterns — see
+//! `ARCHITECTURE.md`); `dataset info` validates such a file and prints
+//! its shape. The scale benches stream multi-million-row substrates from
+//! these files instead of regenerating them.
 //!
 //! `explore` runs the steering loop of the paper: each round extracts a
 //! small batch of strategically chosen rows, asks for `y`/`n` labels on
@@ -39,7 +47,9 @@ fn main() -> ExitCode {
     let Some(command) = args.first() else {
         return usage("missing subcommand");
     };
-    let flags = match Flags::parse(&args[1..]) {
+    // `dataset` nests an action word before its flags.
+    let flag_start = if command == "dataset" { 2 } else { 1 };
+    let flags = match Flags::parse(args.get(flag_start..).unwrap_or(&[])) {
         Ok(f) => f,
         Err(e) => return usage(&e),
     };
@@ -47,6 +57,7 @@ fn main() -> ExitCode {
         "generate" => cmd_generate(&flags),
         "describe" => cmd_describe(&flags),
         "explore" => cmd_explore(&flags),
+        "dataset" => cmd_dataset(&args[1..], &flags),
         "query" => cmd_query(&flags),
         "simplify" => cmd_simplify(&flags),
         other => return usage(&format!("unknown subcommand `{other}`")),
@@ -67,6 +78,8 @@ fn usage(err: &str) -> ExitCode {
          aide describe --csv FILE\n  \
          aide explore --csv FILE --attrs a,b[,c...] [--batch N] [--max-iter N] [--seed N]\n  \
          \x20             [--shards N] [--trace FILE.jsonl] [--target lo1,lo2:hi1,hi2[;...]] [--max-labels N]\n  \
+         aide dataset pack --csv FILE --attrs a,b[,c...] --out FILE.aideview\n  \
+         aide dataset info --view FILE.aideview\n  \
          aide query --csv FILE --sql QUERY [--limit N]\n  \
          aide simplify --sql QUERY"
     );
@@ -377,6 +390,41 @@ fn cmd_explore(flags: &Flags) -> Result<(), String> {
         );
     }
     Ok(())
+}
+
+fn cmd_dataset(args: &[String], flags: &Flags) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("pack") => {
+            let table = load_csv(flags.require("csv")?)?;
+            let attrs: Vec<&str> = flags.require("attrs")?.split(',').collect();
+            let out = flags.require("out")?;
+            let view = table
+                .numeric_view(&attrs)
+                .map_err(|e| format!("bad attributes: {e}"))?;
+            aide::data::write_view(&view, out.as_ref())
+                .map_err(|e| format!("cannot write {out}: {e}"))?;
+            println!(
+                "packed {} rows x {} lanes ({:?}) into {out}",
+                view.len(),
+                view.dims(),
+                attrs
+            );
+            Ok(())
+        }
+        Some("info") => {
+            let path = flags.require("view")?;
+            let view = aide::data::load_view(path.as_ref())
+                .map_err(|e| format!("cannot load {path}: {e}"))?;
+            println!("aide-view/1: {} rows, {} lanes", view.len(), view.dims());
+            let mapper = view.mapper();
+            for (d, attr) in mapper.attrs().iter().enumerate() {
+                let dom = &mapper.domains()[d];
+                println!("  lane {d}: {attr} in [{}, {}]", dom.lo(), dom.hi());
+            }
+            Ok(())
+        }
+        _ => Err("dataset needs an action: `pack` or `info`".to_owned()),
+    }
 }
 
 fn cmd_query(flags: &Flags) -> Result<(), String> {

@@ -43,7 +43,7 @@ fn steering_converges_and_the_predicted_query_retrieves_the_targets() {
     assert!(!retrieved.is_empty());
     let hits = retrieved
         .iter()
-        .filter(|&&row| target.contains(view.point(row)))
+        .filter(|&&row| target.contains(&view.point_vec(row)))
         .count();
     let precision = hits as f64 / retrieved.len() as f64;
     assert!(precision > 0.7, "SQL precision {precision}");

@@ -46,7 +46,7 @@ fn tree_and_formulated_query_classify_identically() {
     // so no tuple sits exactly on a region face).
     let mut disagreements = 0usize;
     for row in 0..table.num_rows() {
-        let by_tree = tree.predict(view.point(row));
+        let by_tree = tree.predict(&view.point_vec(row));
         let by_query = compiled.matches(&table, row);
         if by_tree != by_query {
             disagreements += 1;
@@ -86,7 +86,7 @@ fn predicted_sql_round_trips_and_matches_the_model() {
     let tree = session.tree().expect("model trained");
     let retrieved = reparsed.evaluate(&table).unwrap();
     let by_model: Vec<usize> = (0..table.num_rows())
-        .filter(|&row| tree.predict(view.point(row)))
+        .filter(|&row| tree.predict(&view.point_vec(row)))
         .collect();
     assert_eq!(retrieved, by_model, "SQL result differs from model");
 }
@@ -107,7 +107,7 @@ fn csv_round_trip_preserves_the_exploration_view() {
     for i in 0..a.len() {
         for d in 0..2 {
             assert!(
-                (a.point(i)[d] - b.point(i)[d]).abs() < 1e-9,
+                (a.coord(i, d) - b.coord(i, d)).abs() < 1e-9,
                 "view drifted at point {i} dim {d}"
             );
         }
