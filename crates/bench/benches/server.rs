@@ -1,0 +1,128 @@
+//! Exploration-server throughput: what one `aide serve` host sustains.
+//!
+//! Two measurements over an in-process [`SessionHost`] (the full
+//! `aide-serve/1` frame path — JSON parse, session lock, steering
+//! iteration, JSON serialize — minus only the TCP socket):
+//!
+//! * `server/label_round` — one label round (complete the pending batch,
+//!   propose the next) on a warm session. The p95 of this is the
+//!   interactive latency an analyst sees per review round.
+//! * `server/session` — a full session lifecycle: create, five label
+//!   rounds with client-side labeling, result, close. Sessions/sec is
+//!   `1e9 / median_ns`.
+//!
+//! Sessions share the host's region cache, so later sessions ride the
+//! earlier ones' extractions — exactly the serving-time behaviour.
+
+use aide_core::serve::{ServeConfig, SessionHost};
+use aide_core::TargetQuery;
+use aide_data::view::{Domain, SpaceMapper};
+use aide_data::NumericView;
+use aide_testkit::bench::Harness;
+use aide_util::geom::Rect;
+use aide_util::json::Json;
+use aide_util::rng::{Rng, Xoshiro256pp};
+
+fn uniform_view(n: usize) -> NumericView {
+    let mut rng = Xoshiro256pp::seed_from_u64(11);
+    let mapper = SpaceMapper::new(
+        vec!["x".into(), "y".into()],
+        vec![Domain::new(0.0, 100.0), Domain::new(0.0, 100.0)],
+    );
+    let data: Vec<f64> = (0..n * 2).map(|_| rng.uniform(0.0, 100.0)).collect();
+    NumericView::new(mapper, data, (0..n as u32).collect())
+}
+
+fn target() -> TargetQuery {
+    TargetQuery::new(vec![Rect::new(vec![40.0, 55.0], vec![48.0, 63.0])])
+}
+
+const CREATE: &str =
+    r#"{"v":1,"op":"create","seed":SEED,"batch":10,"target":[{"lo":[40,55],"hi":[48,63]}]}"#;
+
+/// Parses a response, labels every proposal by target membership, and
+/// returns the next label request frame.
+fn label_frame(reply: &str, session: u64, t: &TargetQuery) -> String {
+    let reply = Json::parse(reply).expect("valid response frame");
+    let labels: Vec<String> = reply
+        .get("proposals")
+        .and_then(Json::as_array)
+        .expect("proposals")
+        .iter()
+        .map(|p| {
+            let point: Vec<f64> = p
+                .get("point")
+                .and_then(Json::as_array)
+                .expect("point")
+                .iter()
+                .map(|c| c.as_f64().expect("coord"))
+                .collect();
+            t.contains(&point).to_string()
+        })
+        .collect();
+    format!(
+        r#"{{"v":1,"op":"label","session":{session},"labels":[{}]}}"#,
+        labels.join(",")
+    )
+}
+
+fn session_id(reply: &str) -> u64 {
+    Json::parse(reply)
+        .expect("valid response frame")
+        .get("session")
+        .and_then(Json::as_u64)
+        .expect("session id")
+}
+
+fn main() {
+    let t = target();
+    let mut h = Harness::from_args("server");
+    let mut group = h.group("server");
+
+    // One host for the whole bench: the cache warms across sessions like
+    // it would in production. The session cap is lifted because the
+    // label-round subject leaves its warm sessions open (closing inside
+    // the timed routine would pollute the round latency).
+    let host = SessionHost::new(
+        uniform_view(8_000),
+        ServeConfig {
+            max_sessions: 1_000_000,
+            ..ServeConfig::default()
+        },
+    );
+    let mut next_seed = 0u64;
+
+    group.bench_batched(
+        "label_round",
+        || {
+            // Untimed: a session warmed past discovery-only rounds, so
+            // the measured round exercises all three phases.
+            next_seed += 1;
+            let mut reply = host.handle(&CREATE.replace("SEED", &next_seed.to_string()));
+            let id = session_id(&reply);
+            for _ in 0..2 {
+                reply = host.handle(&label_frame(&reply, id, &t));
+            }
+            (id, label_frame(&reply, id, &t))
+        },
+        |(id, frame)| {
+            let _ = id;
+            host.handle(&frame)
+        },
+    );
+
+    group.bench("session", || {
+        next_seed += 1;
+        let mut reply = host.handle(&CREATE.replace("SEED", &next_seed.to_string()));
+        let id = session_id(&reply);
+        for _ in 0..5 {
+            reply = host.handle(&label_frame(&reply, id, &t));
+        }
+        let result = host.handle(&format!(r#"{{"v":1,"op":"result","session":{id}}}"#));
+        host.handle(&format!(r#"{{"v":1,"op":"close","session":{id}}}"#));
+        result
+    });
+
+    drop(group);
+    h.finish();
+}

@@ -40,7 +40,7 @@ enum OracleChoice {
     Target(TargetQuery),
     /// A caller-provided oracle (real user, rule, crowd…), optionally
     /// with a reference truth for evaluation.
-    Custom(Box<dyn RelevanceOracle>, Option<TargetQuery>),
+    Custom(Box<dyn RelevanceOracle + Send>, Option<TargetQuery>),
 }
 
 /// Builder for [`ExplorationSession`].
@@ -117,7 +117,7 @@ impl<'t> Explorer<'t> {
     /// reference interest exists so accuracy can be evaluated.
     pub fn oracle(
         mut self,
-        oracle: Box<dyn RelevanceOracle>,
+        oracle: Box<dyn RelevanceOracle + Send>,
         ground_truth: Option<TargetQuery>,
     ) -> Self {
         self.oracle = Some(OracleChoice::Custom(oracle, ground_truth));
@@ -150,7 +150,8 @@ impl<'t> Explorer<'t> {
             }
         };
         let engine = ExtractionEngine::from_arc(sample_view, self.index);
-        let (oracle, truth): (Box<dyn RelevanceOracle>, Option<TargetQuery>) = match self.oracle {
+        let (oracle, truth): (Box<dyn RelevanceOracle + Send>, Option<TargetQuery>) =
+            match self.oracle {
             None => {
                 return Err(DataError::UnknownField(
                     "(no oracle or target configured — call simulated_target/target/oracle)".into(),

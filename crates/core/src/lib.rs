@@ -10,8 +10,11 @@
 //! The three exploration phases live in [`discovery`], [`misclassified`]
 //! and [`boundary`]; [`session::ExplorationSession`] orchestrates them.
 //! [`baseline`] provides the Random / Random-Grid comparators,
-//! [`target`] the workload generator and simulated user, and
-//! [`user_study`] the §6.5 reproduction.
+//! [`target`] the workload generator and simulated user,
+//! [`user_study`] the §6.5 reproduction, and [`serve`] the multi-session
+//! exploration server (`aide-serve/1` protocol, see `PROTOCOL.md`).
+
+#![deny(missing_docs)]
 
 pub mod baseline;
 pub mod boundary;
@@ -23,6 +26,7 @@ pub mod labeled;
 pub mod misclassified;
 pub mod nonlinear;
 pub mod oracle;
+pub mod serve;
 pub mod session;
 pub mod target;
 pub mod user_study;
@@ -34,5 +38,6 @@ pub use eval::{evaluate_model, evaluate_model_with};
 pub use labeled::LabeledSet;
 pub use nonlinear::{Ellipsoid, NonLinearInterest, NonLinearOracle};
 pub use oracle::{CallbackOracle, NoisyOracle, RelevanceOracle};
+pub use serve::{serve_listener, ServeConfig, SessionHost};
 pub use session::{ExplorationSession, IterationReport, SessionResult};
 pub use target::{SimulatedUser, SizeClass, TargetQuery};

@@ -107,7 +107,7 @@ impl<O: RelevanceOracle> RelevanceOracle for NoisyOracle<O> {
 
 /// Builds the paper's standard setup: a simulated user plus the matching
 /// ground truth for accuracy evaluation.
-pub fn simulated(target: TargetQuery) -> (Box<dyn RelevanceOracle>, Option<TargetQuery>) {
+pub fn simulated(target: TargetQuery) -> (Box<dyn RelevanceOracle + Send>, Option<TargetQuery>) {
     let truth = target.clone();
     (Box::new(SimulatedUser::new(target)), Some(truth))
 }

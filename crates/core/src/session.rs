@@ -148,12 +148,29 @@ impl SessionResult {
     }
 }
 
+/// A proposed-but-not-yet-labeled iteration: the phase outputs of
+/// [`ExplorationSession::propose_iteration`], parked until labels arrive
+/// through [`ExplorationSession::complete_iteration`]. This is what lets
+/// a server detach the (remote, slow) user review from the (local, fast)
+/// phase machinery without perturbing the single-call
+/// [`ExplorationSession::run_iteration`] path bit-for-bit.
+struct PendingBatch {
+    proposals: Vec<(Sample, Option<u64>, Phase)>,
+    misclass_queries: u64,
+    boundary_queries: u64,
+    /// Wall-clock spent inside `propose_iteration`; the eventual report's
+    /// `duration` adds the completion time but **not** the user's think
+    /// time in between.
+    propose_elapsed: Duration,
+}
+
 /// An in-progress AIDE exploration.
 pub struct ExplorationSession {
     config: SessionConfig,
     engine: ExtractionEngine,
     eval_view: Arc<NumericView>,
-    oracle: Box<dyn RelevanceOracle>,
+    oracle: Box<dyn RelevanceOracle + Send>,
+    pending: Option<PendingBatch>,
     ground_truth: Option<TargetQuery>,
     labeled: LabeledSet,
     tree: Option<DecisionTree>,
@@ -223,7 +240,7 @@ impl ExplorationSession {
         config: SessionConfig,
         mut engine: ExtractionEngine,
         eval_view: Arc<NumericView>,
-        oracle: Box<dyn RelevanceOracle>,
+        oracle: Box<dyn RelevanceOracle + Send>,
         ground_truth: Option<TargetQuery>,
         mut rng: Xoshiro256pp,
     ) -> Self {
@@ -245,8 +262,14 @@ impl ExplorationSession {
         engine.set_cache_enabled(config.region_cache);
         engine.set_tracer(config.tracer.clone());
         // Reshard before the chunk-stat drain below: the per-shard index
-        // builds are construction work, not first-iteration work.
-        engine.set_shards(ExtractionEngine::resolve_shards(config.shards, &pool));
+        // builds are construction work, not first-iteration work. An
+        // engine holding a shared region cache keeps the layout its host
+        // chose (always monolithic — sharding is incompatible with a
+        // shared cache, and server sessions ignore `AIDE_SHARDS` by
+        // design: results are shard-invariant anyway).
+        if engine.shared_cache().is_none() {
+            engine.set_shards(ExtractionEngine::resolve_shards(config.shards, &pool));
+        }
         if config.tracer.is_enabled() {
             // Construction work (index build, discovery k-means) happened
             // before the session span: clear the chunk counters so the
@@ -276,6 +299,7 @@ impl ExplorationSession {
             engine,
             eval_view,
             oracle,
+            pending: None,
             ground_truth,
             labeled: LabeledSet::new(dims),
             tree: None,
@@ -396,7 +420,46 @@ impl ExplorationSession {
     }
 
     /// Runs one steering iteration and returns its report.
+    ///
+    /// Equivalent to [`ExplorationSession::propose_iteration`] followed by
+    /// labeling every proposal with the session's oracle and
+    /// [`ExplorationSession::complete_iteration`] — bit-for-bit: the
+    /// oracle is consulted once per proposal in proposal order and no
+    /// session randomness is consumed in between.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a proposed batch is pending (label or abandon it first).
     pub fn run_iteration(&mut self) -> &IterationReport {
+        let samples = self.propose_iteration();
+        let labels: Vec<bool> = samples.iter().map(|s| self.oracle.label(s)).collect();
+        self.complete_iteration(&labels)
+    }
+
+    /// Number of proposals awaiting labels, when a batch is pending.
+    pub fn pending_len(&self) -> Option<usize> {
+        self.pending.as_ref().map(|p| p.proposals.len())
+    }
+
+    /// Runs the space-exploration half of one iteration — the three
+    /// phases propose and extract sample objects — and parks the batch
+    /// until labels arrive. Returns the proposals in labeling order
+    /// (duplicates across phases included: the reviewer sees exactly what
+    /// the serial loop's oracle would have seen).
+    ///
+    /// This is the server's request path: `propose` answers a `create` or
+    /// `label` request with objects to review, the analyst labels them at
+    /// human speed, and [`ExplorationSession::complete_iteration`] folds
+    /// the verdicts back in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a proposed batch is already pending.
+    pub fn propose_iteration(&mut self) -> Vec<Sample> {
+        assert!(
+            self.pending.is_none(),
+            "a proposed batch is pending; complete or abandon it first"
+        );
         let start = Instant::now();
         self.engine.reset_stats();
         // A cheap handle (one Option<Arc> clone) so emissions below don't
@@ -517,11 +580,48 @@ impl ExplorationSession {
             );
         }
         self.prev_slabs = boundary_slabs;
+        let samples: Vec<Sample> = proposals.iter().map(|(s, _, _)| s.clone()).collect();
+        self.pending = Some(PendingBatch {
+            proposals,
+            misclass_queries,
+            boundary_queries,
+            propose_elapsed: start.elapsed(),
+        });
+        samples
+    }
 
-        // --- The user reviews and labels the new samples -----------------
+    /// Folds the reviewer's verdicts into the pending batch — one label
+    /// per proposal, in proposal order — then retrains the classifier,
+    /// evaluates when due, and closes the iteration with its report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no batch is pending or `labels` does not match the
+    /// pending proposal count (guard with
+    /// [`ExplorationSession::pending_len`] when the labels come off a
+    /// wire).
+    pub fn complete_iteration(&mut self, labels: &[bool]) -> &IterationReport {
+        let pending = self
+            .pending
+            .take()
+            .expect("complete_iteration without a pending proposal batch");
+        assert_eq!(
+            labels.len(),
+            pending.proposals.len(),
+            "one label per pending proposal"
+        );
+        let start = Instant::now();
+        let tracer = self.config.tracer.clone();
+        let PendingBatch {
+            proposals,
+            misclass_queries,
+            boundary_queries,
+            propose_elapsed,
+        } = pending;
+
+        // --- The user reviewed and labeled the new samples ---------------
         let mut counts = [0usize; 3];
-        for (sample, token, phase) in proposals {
-            let label = self.oracle.label(&sample);
+        for ((sample, token, phase), &label) in proposals.into_iter().zip(labels) {
             if !self.labeled.push(&sample, label) {
                 continue; // duplicate within this iteration's areas
             }
@@ -566,6 +666,7 @@ impl ExplorationSession {
         }
         let (f, p, r) = self.last_eval;
         let num_regions = self.relevant_regions().len();
+        let duration = propose_elapsed + start.elapsed();
 
         if tracer.is_enabled() {
             let (calls, chunks) = take_chunk_stats();
@@ -590,7 +691,7 @@ impl ExplorationSession {
                     ("cache_hits", Value::from(stats.cache_hits)),
                     ("cache_misses", Value::from(stats.cache_misses)),
                     ("cached_regions", Value::from(self.engine.cached_regions())),
-                    ("dur_us", Value::from(start.elapsed().as_micros() as u64)),
+                    ("dur_us", Value::from(duration.as_micros() as u64)),
                 ],
             );
         }
@@ -607,7 +708,7 @@ impl ExplorationSession {
             precision: p,
             recall: r,
             num_regions,
-            duration: start.elapsed(),
+            duration,
             extraction: self.engine.stats(),
             misclass_queries,
             boundary_queries,
@@ -615,6 +716,68 @@ impl ExplorationSession {
         self.iteration += 1;
         self.history.push(report);
         self.history.last().expect("just pushed")
+    }
+
+    /// Drops a pending proposal batch without labels — the reviewer went
+    /// away (a server session closing or being evicted mid-review). The
+    /// iteration still closes: its report records the extraction costs
+    /// the phases already paid with zero new samples, and the trace's
+    /// iteration span ends so the stream stays structurally valid. The
+    /// model, the labeled set and the evaluation are untouched. No-op
+    /// when nothing is pending.
+    pub fn abandon_iteration(&mut self) {
+        let Some(pending) = self.pending.take() else {
+            return;
+        };
+        let tracer = self.config.tracer.clone();
+        let num_regions = self.relevant_regions().len();
+        if tracer.is_enabled() {
+            let (calls, chunks) = take_chunk_stats();
+            tracer.emit_scoped(
+                "pool",
+                vec![("calls", Value::from(calls)), ("chunks", Value::from(chunks))],
+            );
+            let stats = self.engine.stats();
+            tracer.emit_scoped(
+                "iter_end",
+                vec![
+                    ("new_samples", Value::from(0usize)),
+                    ("discovery_samples", Value::from(0usize)),
+                    ("misclass_samples", Value::from(0usize)),
+                    ("boundary_samples", Value::from(0usize)),
+                    ("total_labeled", Value::from(self.labeled.len())),
+                    ("relevant_labeled", Value::from(self.labeled.relevant_count())),
+                    ("num_regions", Value::from(num_regions)),
+                    ("queries", Value::from(stats.queries)),
+                    ("tuples_examined", Value::from(stats.tuples_examined)),
+                    ("tuples_returned", Value::from(stats.tuples_returned)),
+                    ("cache_hits", Value::from(stats.cache_hits)),
+                    ("cache_misses", Value::from(stats.cache_misses)),
+                    ("cached_regions", Value::from(self.engine.cached_regions())),
+                    ("dur_us", Value::from(pending.propose_elapsed.as_micros() as u64)),
+                ],
+            );
+        }
+        let (f, p, r) = self.last_eval;
+        let report = IterationReport {
+            iteration: self.iteration,
+            new_samples: 0,
+            discovery_samples: 0,
+            misclass_samples: 0,
+            boundary_samples: 0,
+            total_labeled: self.labeled.len(),
+            relevant_labeled: self.labeled.relevant_count(),
+            f_measure: f,
+            precision: p,
+            recall: r,
+            num_regions,
+            duration: pending.propose_elapsed,
+            extraction: self.engine.stats(),
+            misclass_queries: pending.misclass_queries,
+            boundary_queries: pending.boundary_queries,
+        };
+        self.iteration += 1;
+        self.history.push(report);
     }
 
     /// Re-evaluates the current model if `last_eval` is stale (an
@@ -671,6 +834,9 @@ impl ExplorationSession {
         self.trace_finished = true;
     }
 
+    /// Runs iterations until `stop` is met (target F-measure, label
+    /// budget, iteration cap, or three consecutive sample-less
+    /// iterations), finalizes the trace, and returns the summary.
     pub fn run(&mut self, stop: StopCondition) -> SessionResult {
         let mut stalled = 0usize;
         while self.iteration < stop.max_iterations {
@@ -986,5 +1152,104 @@ mod tests {
             assert!(labels <= result.total_labeled);
             assert!(result.labels_to_reach(1.01).is_none());
         }
+    }
+
+    /// The propose/complete split is the wire-facing form of the loop: a
+    /// client labeling each proposed sample by target membership must
+    /// reproduce the oracle-driven session bit for bit.
+    #[test]
+    fn propose_complete_split_matches_run_iteration() {
+        let target = single_area_target();
+        let mut oracle_driven = ExplorationSession::from_view(
+            SessionConfig::default(),
+            uniform_view(20_000, 2, 21),
+            target.clone(),
+            22,
+        );
+        let mut wire_driven = ExplorationSession::from_view(
+            SessionConfig::default(),
+            uniform_view(20_000, 2, 21),
+            target.clone(),
+            22,
+        );
+        for _ in 0..8 {
+            oracle_driven.run_iteration();
+            let proposals = wire_driven.propose_iteration();
+            assert_eq!(wire_driven.pending_len(), Some(proposals.len()));
+            // A client sees only the points; it labels by membership,
+            // exactly what the in-process simulated user does.
+            let labels: Vec<bool> = proposals.iter().map(|s| target.contains(&s.point)).collect();
+            wire_driven.complete_iteration(&labels);
+            assert_eq!(wire_driven.pending_len(), None);
+        }
+        for (a, b) in oracle_driven.history().iter().zip(wire_driven.history()) {
+            assert_eq!(a.iteration, b.iteration);
+            assert_eq!(a.new_samples, b.new_samples);
+            assert_eq!(a.discovery_samples, b.discovery_samples);
+            assert_eq!(a.misclass_samples, b.misclass_samples);
+            assert_eq!(a.boundary_samples, b.boundary_samples);
+            assert_eq!(a.total_labeled, b.total_labeled);
+            assert_eq!(a.relevant_labeled, b.relevant_labeled);
+            assert_eq!(a.f_measure.to_bits(), b.f_measure.to_bits());
+            assert_eq!(a.precision.to_bits(), b.precision.to_bits());
+            assert_eq!(a.recall.to_bits(), b.recall.to_bits());
+            assert_eq!(a.num_regions, b.num_regions);
+            // Everything but wall-clock time must match exactly.
+            assert_eq!(a.extraction.queries, b.extraction.queries);
+            assert_eq!(a.extraction.tuples_examined, b.extraction.tuples_examined);
+            assert_eq!(a.extraction.tuples_returned, b.extraction.tuples_returned);
+            assert_eq!(a.extraction.cache_hits, b.extraction.cache_hits);
+            assert_eq!(a.extraction.cache_misses, b.extraction.cache_misses);
+        }
+        assert_eq!(
+            oracle_driven.predicted_selection("t").to_sql(),
+            wire_driven.predicted_selection("t").to_sql()
+        );
+    }
+
+    #[test]
+    fn abandon_iteration_closes_the_round_without_labels() {
+        let view = uniform_view(10_000, 2, 23);
+        let mut s =
+            ExplorationSession::from_view(SessionConfig::default(), view, single_area_target(), 24);
+        s.run_iteration();
+        let labeled_before = s.labeled().len();
+        let proposals = s.propose_iteration();
+        assert!(!proposals.is_empty());
+        s.abandon_iteration();
+        assert_eq!(s.pending_len(), None);
+        // The round closed with zero new samples and no model change.
+        let last = s.history().last().expect("abandoned report");
+        assert_eq!(last.iteration, 1);
+        assert_eq!(last.new_samples, 0);
+        assert_eq!(last.total_labeled, labeled_before);
+        assert_eq!(s.labeled().len(), labeled_before);
+        // Abandoning with nothing pending is a no-op…
+        s.abandon_iteration();
+        assert_eq!(s.history().len(), 2);
+        // …and the session keeps working afterwards.
+        let r = s.run_iteration();
+        assert_eq!(r.iteration, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per pending proposal")]
+    fn complete_iteration_rejects_mismatched_label_counts() {
+        let view = uniform_view(5_000, 2, 25);
+        let mut s =
+            ExplorationSession::from_view(SessionConfig::default(), view, single_area_target(), 26);
+        let proposals = s.propose_iteration();
+        let labels = vec![true; proposals.len() + 1];
+        s.complete_iteration(&labels);
+    }
+
+    #[test]
+    #[should_panic(expected = "a proposed batch is pending")]
+    fn propose_twice_without_completion_panics() {
+        let view = uniform_view(5_000, 2, 27);
+        let mut s =
+            ExplorationSession::from_view(SessionConfig::default(), view, single_area_target(), 28);
+        s.propose_iteration();
+        s.propose_iteration();
     }
 }

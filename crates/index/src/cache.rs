@@ -17,7 +17,7 @@
 //! `tuples_examined`.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use aide_util::geom::{Rect, RectKey};
 
@@ -154,6 +154,97 @@ impl RegionCache {
     }
 }
 
+/// A [`RegionCache`] shareable across engines (and threads).
+///
+/// The never-invalidate contract is what makes sharing safe: every
+/// engine holding a clone answers queries over the **same immutable
+/// view**, so a rectangle's cached result is exact no matter which
+/// engine computed it. Sharing changes only *cost accounting* (who pays
+/// the miss, who enjoys the hit) — never indices, counts, samples or any
+/// caller's RNG stream. This is the cross-session scaling win `aide
+/// serve` is built on: the first analyst to probe a region pays for it,
+/// every later analyst hits.
+///
+/// Mutation sites ([`ExtractionEngine::append_rows`]
+/// (crate::ExtractionEngine::append_rows)) refuse to run on an engine
+/// holding a shared cache, because an append would change what the
+/// cached rectangles *should* return for every other holder.
+///
+/// Clones are handles to one underlying cache; the hit/miss counters
+/// aggregate across all holders (each engine additionally books its own
+/// per-engine [`CacheStats`](crate::CacheStats) into its
+/// [`ExtractionStats`](crate::ExtractionStats)).
+///
+/// ```
+/// use std::sync::Arc;
+/// use aide_index::{QueryOutput, SharedRegionCache};
+/// use aide_util::geom::Rect;
+///
+/// let shared = SharedRegionCache::new();
+/// let alias = shared.clone();
+/// let rect = Rect::new(vec![0.0], vec![1.0]);
+/// shared.put_query(&rect, Arc::new(QueryOutput { indices: vec![2], examined: 5, runs: vec![] }));
+/// // The other handle sees the entry: one cache, two holders.
+/// assert_eq!(alias.get_query(&rect.key()).unwrap().indices, vec![2]);
+/// assert_eq!(alias.len(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SharedRegionCache {
+    inner: Arc<Mutex<RegionCache>>,
+}
+
+impl SharedRegionCache {
+    /// An empty shared cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, RegionCache> {
+        self.inner.lock().expect("region cache is never poisoned")
+    }
+
+    /// Whether two handles refer to the same underlying cache.
+    pub fn same_cache(&self, other: &SharedRegionCache) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    /// Cached rectangles.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// Aggregate hit/miss counters across every holder.
+    pub fn stats(&self) -> CacheStats {
+        self.lock().stats()
+    }
+
+    /// Looks up the full query result for a rectangle key, tallying a
+    /// hit or miss on the shared counters.
+    pub fn get_query(&self, key: &RectKey) -> Option<Arc<QueryOutput>> {
+        self.lock().get_query(key)
+    }
+
+    /// Looks up a count, tallying a hit or miss on the shared counters.
+    pub fn get_count(&self, key: &RectKey) -> Option<CountOutput> {
+        self.lock().get_count(key)
+    }
+
+    /// Memoizes a full query result.
+    pub fn put_query(&self, rect: &Rect, out: Arc<QueryOutput>) {
+        self.lock().put_query(rect, out);
+    }
+
+    /// Memoizes a count-only result.
+    pub fn put_count(&self, rect: &Rect, out: CountOutput) {
+        self.lock().put_count(rect, out);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -205,6 +296,24 @@ mod tests {
         assert_eq!(c.len(), 2);
         assert_eq!(c.get_query(&rect(1.0).key()).unwrap().indices.len(), 1);
         assert_eq!(c.get_query(&rect(2.0).key()).unwrap().indices.len(), 2);
+    }
+
+    #[test]
+    fn shared_cache_is_one_cache_with_aggregate_stats() {
+        let a = SharedRegionCache::new();
+        let b = a.clone();
+        assert!(a.same_cache(&b));
+        assert!(!a.same_cache(&SharedRegionCache::new()));
+        assert!(a.is_empty());
+        let r = rect(3.0);
+        assert!(a.get_query(&r.key()).is_none()); // miss via a
+        b.put_query(&r, query_out(2));
+        assert_eq!(a.get_query(&r.key()).unwrap().indices.len(), 2); // hit via a
+        assert_eq!(b.get_count(&r.key()).unwrap().count, 2); // hit via b
+        assert_eq!(a.len(), 1);
+        // One counter set, shared by every holder.
+        assert_eq!(a.stats(), CacheStats { hits: 2, misses: 1 });
+        assert_eq!(b.stats(), a.stats());
     }
 
     #[test]

@@ -50,7 +50,7 @@ use aide_util::trace::Tracer;
 
 use crate::{
     CacheStats, CountOutput, GridIndex, KdTree, QueryOutput, RegionCache, RegionIndex, ScanIndex,
-    SortedIndex,
+    SharedRegionCache, SortedIndex,
 };
 
 /// Which access path the engine uses.
@@ -132,14 +132,69 @@ struct Shard {
     cache: RegionCache,
 }
 
+/// The engine's region cache: owned by this engine (the default) or a
+/// handle to a [`SharedRegionCache`] shared with other engines over the
+/// same view. The method surface mirrors [`RegionCache`]'s so every call
+/// site is slot-agnostic; which slot is active changes only cost
+/// accounting, never results.
+enum CacheSlot {
+    Owned(RegionCache),
+    Shared(SharedRegionCache),
+}
+
+impl CacheSlot {
+    fn get_query(&mut self, key: &RectKey) -> Option<Arc<QueryOutput>> {
+        match self {
+            CacheSlot::Owned(c) => c.get_query(key),
+            CacheSlot::Shared(c) => c.get_query(key),
+        }
+    }
+
+    fn get_count(&mut self, key: &RectKey) -> Option<CountOutput> {
+        match self {
+            CacheSlot::Owned(c) => c.get_count(key),
+            CacheSlot::Shared(c) => c.get_count(key),
+        }
+    }
+
+    fn put_query(&mut self, rect: &Rect, out: Arc<QueryOutput>) {
+        match self {
+            CacheSlot::Owned(c) => c.put_query(rect, out),
+            CacheSlot::Shared(c) => c.put_query(rect, out),
+        }
+    }
+
+    fn put_count(&mut self, rect: &Rect, out: CountOutput) {
+        match self {
+            CacheSlot::Owned(c) => c.put_count(rect, out),
+            CacheSlot::Shared(c) => c.put_count(rect, out),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            CacheSlot::Owned(c) => c.len(),
+            CacheSlot::Shared(c) => c.len(),
+        }
+    }
+
+    fn is_shared(&self) -> bool {
+        matches!(self, CacheSlot::Shared(_))
+    }
+}
+
 /// Region-sampling façade over a [`NumericView`] plus a [`RegionIndex`].
 pub struct ExtractionEngine {
     view: Arc<NumericView>,
-    index: Box<dyn RegionIndex>,
+    /// Shared so [`ExtractionEngine::fork_session`] can hand the built
+    /// index to per-session engines without rebuilding; only `&self`
+    /// query/count calls run after construction, and `append_rows`
+    /// replaces the whole handle.
+    index: Arc<dyn RegionIndex>,
     kind: IndexKind,
     stats: ExtractionStats,
     pool: Pool,
-    cache: RegionCache,
+    cache: CacheSlot,
     cache_enabled: bool,
     tracer: Tracer,
     /// Empty = monolithic (the default); `n ≥ 2` entries = sharded.
@@ -187,14 +242,14 @@ impl ExtractionEngine {
     /// explicit worker pool (kept for batch calls). Indexes and batch
     /// results are identical for any thread count.
     pub fn from_arc_with(view: Arc<NumericView>, kind: IndexKind, pool: &Pool) -> Self {
-        let index = build_index(&view, kind, pool);
+        let index: Arc<dyn RegionIndex> = Arc::from(build_index(&view, kind, pool));
         Self {
             view,
             index,
             kind,
             stats: ExtractionStats::default(),
             pool: *pool,
-            cache: RegionCache::new(),
+            cache: CacheSlot::Owned(RegionCache::new()),
             cache_enabled: true,
             tracer: Tracer::disabled(),
             shards: Vec::new(),
@@ -269,6 +324,11 @@ impl ExtractionEngine {
         if n_shards == self.shard_count() {
             return;
         }
+        assert!(
+            !self.cache.is_shared(),
+            "a sharded engine keeps per-shard caches; install the shared \
+             cache on a monolithic engine only"
+        );
         self.shards = Vec::new();
         self.shard_grid_resolution = 0;
         self.shard_examined_total = Vec::new();
@@ -330,10 +390,16 @@ impl ExtractionEngine {
     /// Panics if `data.len()` is not a multiple of the dimensionality or
     /// disagrees with `row_ids.len()`.
     pub fn append_rows(&mut self, data: &[f64], row_ids: &[u32]) {
+        assert!(
+            !self.cache.is_shared(),
+            "append_rows is forbidden on an engine with a shared region \
+             cache: other holders' cached results would go stale, breaking \
+             the never-invalidate contract"
+        );
         Arc::make_mut(&mut self.view).append_rows(data, row_ids);
         if self.shards.is_empty() {
-            self.index = build_index(&self.view, self.kind, &self.pool);
-            self.cache = RegionCache::new();
+            self.index = Arc::from(build_index(&self.view, self.kind, &self.pool));
+            self.cache = CacheSlot::Owned(RegionCache::new());
             return;
         }
         let tail = self.shards.last_mut().expect("sharded engine has shards");
@@ -379,6 +445,72 @@ impl ExtractionEngine {
         match self.shards.first() {
             Some(shard) => shard.cache.len(),
             None => self.cache.len(),
+        }
+    }
+
+    /// Replaces this engine's owned region cache with a handle to a
+    /// cache shared with other engines over the same immutable view.
+    ///
+    /// Sharing is safe by the never-invalidate contract (see
+    /// [`SharedRegionCache`]): it changes which engine pays a miss, never
+    /// what any query returns. The engine keeps booking its *own*
+    /// hit/miss counters into [`ExtractionEngine::stats`]; the shared
+    /// cache's [`SharedRegionCache::stats`] aggregates across holders.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a sharded engine — shard caches are per-shard by
+    /// construction, and the server's host engine is always monolithic.
+    pub fn set_shared_cache(&mut self, cache: SharedRegionCache) {
+        assert!(
+            self.shards.is_empty(),
+            "shared region caches require a monolithic engine"
+        );
+        self.cache = CacheSlot::Shared(cache);
+    }
+
+    /// The shared cache handle, when one is installed.
+    pub fn shared_cache(&self) -> Option<&SharedRegionCache> {
+        match &self.cache {
+            CacheSlot::Shared(c) => Some(c),
+            CacheSlot::Owned(_) => None,
+        }
+    }
+
+    /// Clones a lightweight per-session engine off this one: the view and
+    /// the built index are shared (`Arc`), the shared cache handle is
+    /// cloned when one is installed (a fresh owned cache otherwise), and
+    /// the stat counters start at zero. The fork inherits the access-path
+    /// kind, worker pool and cache-enable flag; its tracer starts
+    /// disabled (each session installs its own).
+    ///
+    /// This is the server's session-spawn path: one index build and one
+    /// region cache serve every concurrent session over the view.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a sharded engine (per-shard state is not forkable; the
+    /// server host is always monolithic).
+    pub fn fork_session(&self) -> ExtractionEngine {
+        assert!(
+            self.shards.is_empty(),
+            "fork_session requires a monolithic engine"
+        );
+        ExtractionEngine {
+            view: Arc::clone(&self.view),
+            index: Arc::clone(&self.index),
+            kind: self.kind,
+            stats: ExtractionStats::default(),
+            pool: self.pool,
+            cache: match &self.cache {
+                CacheSlot::Shared(c) => CacheSlot::Shared(c.clone()),
+                CacheSlot::Owned(_) => CacheSlot::Owned(RegionCache::new()),
+            },
+            cache_enabled: self.cache_enabled,
+            tracer: Tracer::disabled(),
+            shards: Vec::new(),
+            shard_grid_resolution: 0,
+            shard_examined_total: Vec::new(),
         }
     }
 
@@ -1309,6 +1441,67 @@ mod tests {
         // Empty batches stay silent.
         engine.query_batch(&[]);
         assert!(tracer.drain().is_empty());
+    }
+
+    #[test]
+    fn forked_engines_share_cache_and_results_stay_bitwise_identical() {
+        let view = grid_view(20);
+        let rect = Rect::new(vec![0.0, 0.0], vec![40.0, 40.0]);
+        // Reference: a lone engine with its own cache.
+        let mut lone = ExtractionEngine::new(view.clone(), IndexKind::Grid);
+        let mut rng_l = Xoshiro256pp::seed_from_u64(7);
+        let want = lone.sample_in(&rect, 6, &mut rng_l);
+
+        let mut host = ExtractionEngine::new(view, IndexKind::Grid);
+        host.set_shared_cache(SharedRegionCache::new());
+        let mut a = host.fork_session();
+        let mut b = host.fork_session();
+        let mut rng_a = Xoshiro256pp::seed_from_u64(7);
+        let mut rng_b = Xoshiro256pp::seed_from_u64(7);
+        // Session A pays the miss…
+        assert_eq!(a.sample_in(&rect, 6, &mut rng_a), want);
+        assert_eq!(a.stats().cache_misses, 1);
+        assert!(a.stats().tuples_examined > 0);
+        // …and session B hits A's entry: identical samples, zero examined.
+        assert_eq!(b.sample_in(&rect, 6, &mut rng_b), want);
+        assert_eq!(b.stats().cache_hits, 1);
+        assert_eq!(b.stats().tuples_examined, 0);
+        // The shared counters aggregate across holders.
+        let shared = host.shared_cache().expect("installed").clone();
+        assert!(a.shared_cache().unwrap().same_cache(&shared));
+        assert_eq!(shared.stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(shared.len(), 1);
+    }
+
+    #[test]
+    fn fork_without_shared_cache_gets_a_fresh_owned_cache() {
+        let view = grid_view(10);
+        let mut host = ExtractionEngine::new(view, IndexKind::Grid);
+        host.query_in(&Rect::full_domain(2));
+        assert_eq!(host.cached_regions(), 1);
+        let mut fork = host.fork_session();
+        assert!(fork.shared_cache().is_none());
+        assert_eq!(fork.cached_regions(), 0);
+        fork.query_in(&Rect::full_domain(2));
+        assert_eq!(fork.stats().cache_misses, 1, "fork starts cold");
+    }
+
+    #[test]
+    #[should_panic(expected = "append_rows is forbidden")]
+    fn append_rows_refuses_a_shared_cache() {
+        let view = grid_view(5);
+        let mut engine = ExtractionEngine::new(view, IndexKind::Grid);
+        engine.set_shared_cache(SharedRegionCache::new());
+        engine.append_rows(&[1.0, 1.0], &[999]);
+    }
+
+    #[test]
+    #[should_panic(expected = "monolithic engine")]
+    fn sharded_engines_refuse_a_shared_cache() {
+        let view = grid_view(10);
+        let mut engine = ExtractionEngine::new(view, IndexKind::Grid);
+        engine.set_shards(2);
+        engine.set_shared_cache(SharedRegionCache::new());
     }
 
     #[test]

@@ -27,7 +27,7 @@ pub mod kdtree;
 pub mod scan;
 pub mod sorted;
 
-pub use cache::{CacheStats, RegionCache};
+pub use cache::{CacheStats, RegionCache, SharedRegionCache};
 pub use engine::{ExtractionEngine, ExtractionStats, IndexKind, Sample, SampleRequest};
 pub use grid::GridIndex;
 pub use kdtree::KdTree;

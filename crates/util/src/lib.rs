@@ -20,7 +20,11 @@
 //!   parallelism never breaks replayability;
 //! * [`trace`] — a zero-dependency structured tracing layer: ring-buffered
 //!   typed events serialized to JSONL (schema `aide-trace/1`), with
-//!   deterministic (timing-stripped) content across thread counts.
+//!   deterministic (timing-stripped) content across thread counts;
+//! * [`json`] — the reading half of the JSON story: a total, bounded
+//!   parser over a closed value model whose writer reuses the trace
+//!   layer's bit-exact serialization, powering the `aide-serve/1` wire
+//!   protocol.
 //!
 //! ```
 //! use aide_util::rng::{Rng, Xoshiro256pp};
@@ -35,6 +39,7 @@
 
 pub mod dist;
 pub mod geom;
+pub mod json;
 pub mod par;
 pub mod rng;
 pub mod stats;
@@ -42,6 +47,7 @@ pub mod trace;
 
 pub use dist::{Normal, TruncatedNormal, Zipf};
 pub use geom::Rect;
+pub use json::Json;
 pub use par::Pool;
 pub use rng::{Rng, SeedStream, SplitMix64, Xoshiro256pp};
 pub use stats::{quantile, Histogram, OnlineStats, Summary};

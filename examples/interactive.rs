@@ -9,9 +9,8 @@
 //! stop and get the final query. When stdin is not a terminal (CI), a
 //! scripted rule answers instead, so the example always runs.
 
-use std::cell::Cell;
 use std::io::{BufRead, IsTerminal, Write};
-use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use aide::core::{CallbackOracle, ExplorationSession, SessionConfig};
@@ -40,9 +39,9 @@ fn main() {
 
     // The oracle: a human at the terminal, or a scripted stand-in.
     let table_for_oracle: Table = table.clone();
-    let quit = Rc::new(Cell::new(false));
+    let quit = Arc::new(AtomicBool::new(false));
     let oracle = {
-        let quit = Rc::clone(&quit);
+        let quit = Arc::clone(&quit);
         CallbackOracle::new(move |sample: &Sample| {
             let row = sample.row_id as usize;
             let price = table_for_oracle
@@ -63,14 +62,14 @@ fn main() {
                 std::io::stdout().flush().expect("stdout flush");
                 let mut line = String::new();
                 if std::io::stdin().lock().read_line(&mut line).unwrap_or(0) == 0 {
-                    quit.set(true);
+                    quit.store(true, Ordering::Relaxed);
                     return false;
                 }
                 match line.trim().to_ascii_lowercase().as_str() {
                     "y" | "yes" => return true,
                     "n" | "no" => return false,
                     "q" | "quit" => {
-                        quit.set(true);
+                        quit.store(true, Ordering::Relaxed);
                         return false;
                     }
                     _ => println!("  please answer y, n or q"),
@@ -95,7 +94,7 @@ fn main() {
     let max_iterations = if interactive { 40 } else { 15 };
     for _ in 0..max_iterations {
         let report = session.run_iteration().clone();
-        if quit.get() {
+        if quit.load(Ordering::Relaxed) {
             break;
         }
         let sql = session.predicted_selection(table.name()).to_sql();

@@ -8,6 +8,7 @@
 //! aide dataset pack --csv sky.csv --attrs rowc,colc --out sky.aideview
 //! aide dataset info --view sky.aideview
 //! aide query    --csv sky.csv --sql "SELECT * FROM data WHERE rowc < 500"
+//! aide serve    --view sky.aideview --addr 127.0.0.1:0 --trace-dir traces/
 //! aide simplify --sql "SELECT * FROM t WHERE a >= 1 AND a >= 2"
 //! ```
 //!
@@ -25,6 +26,11 @@
 //! `--trace FILE` the session writes an `aide-trace/1` JSONL stream —
 //! render or validate it with `scripts/trace_report.py` (schema in
 //! `ARCHITECTURE.md`).
+//!
+//! `serve` hosts many concurrent exploration sessions over one packed
+//! dataset on plain TCP — newline-delimited JSON, protocol
+//! `aide-serve/1`, spec in `PROTOCOL.md`. `scripts/serve_check.py` is a
+//! stdlib-Python reference client.
 
 use std::fs::File;
 use std::io::{BufRead, BufReader, BufWriter, Write};
@@ -59,6 +65,7 @@ fn main() -> ExitCode {
         "explore" => cmd_explore(&flags),
         "dataset" => cmd_dataset(&args[1..], &flags),
         "query" => cmd_query(&flags),
+        "serve" => cmd_serve(&flags),
         "simplify" => cmd_simplify(&flags),
         other => return usage(&format!("unknown subcommand `{other}`")),
     };
@@ -81,6 +88,8 @@ fn usage(err: &str) -> ExitCode {
          aide dataset pack --csv FILE --attrs a,b[,c...] --out FILE.aideview\n  \
          aide dataset info --view FILE.aideview\n  \
          aide query --csv FILE --sql QUERY [--limit N]\n  \
+         aide serve --view FILE.aideview [--addr HOST:PORT] [--trace-dir DIR]\n  \
+         \x20          [--idle-timeout SECS] [--max-sessions N] [--batch N]\n  \
          aide simplify --sql QUERY"
     );
     ExitCode::FAILURE
@@ -304,11 +313,11 @@ fn cmd_explore(flags: &Flags) -> Result<(), String> {
 
     let table_for_oracle = table.clone();
     let attrs_owned: Vec<String> = attrs.iter().map(|s| s.to_string()).collect();
-    let done = std::rc::Rc::new(std::cell::Cell::new(false));
-    let done_in_oracle = std::rc::Rc::clone(&done);
+    let done = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let done_in_oracle = Arc::clone(&done);
     let stdin = std::io::stdin();
     let oracle = CallbackOracle::new(move |sample: &aide::index::Sample| {
-        if done_in_oracle.get() {
+        if done_in_oracle.load(std::sync::atomic::Ordering::Relaxed) {
             return false;
         }
         let row = sample.row_id as usize;
@@ -327,14 +336,14 @@ fn cmd_explore(flags: &Flags) -> Result<(), String> {
             std::io::stdout().flush().expect("stdout");
             let mut line = String::new();
             if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
-                done_in_oracle.set(true);
+                done_in_oracle.store(true, std::sync::atomic::Ordering::Relaxed);
                 return false;
             }
             match line.trim().to_ascii_lowercase().as_str() {
                 "y" | "yes" => return true,
                 "n" | "no" => return false,
                 "q" | "quit" => {
-                    done_in_oracle.set(true);
+                    done_in_oracle.store(true, std::sync::atomic::Ordering::Relaxed);
                     return false;
                 }
                 _ => println!("  please answer y, n or q"),
@@ -359,7 +368,7 @@ fn cmd_explore(flags: &Flags) -> Result<(), String> {
     );
     for _ in 0..max_iter {
         let report = session.run_iteration().clone();
-        if done.get() || report.new_samples == 0 {
+        if done.load(std::sync::atomic::Ordering::Relaxed) || report.new_samples == 0 {
             break;
         }
         let sql = simplify(&session.predicted_selection("data")).to_sql();
@@ -425,6 +434,48 @@ fn cmd_dataset(args: &[String], flags: &Flags) -> Result<(), String> {
         }
         _ => Err("dataset needs an action: `pack` or `info`".to_owned()),
     }
+}
+
+/// `aide serve` — the multi-session exploration server (`aide-serve/1`
+/// protocol, see `PROTOCOL.md`). Loads a packed `aide-view/1` dataset,
+/// builds one grid index and one shared region cache, and serves any
+/// number of concurrent sessions over plain TCP. Port 0 binds an
+/// ephemeral port; the chosen address is printed as `listening on
+/// HOST:PORT` before the accept loop starts, so scripts can parse it.
+fn cmd_serve(flags: &Flags) -> Result<(), String> {
+    let path = flags.require("view")?;
+    let view = aide::data::load_view(path.as_ref())
+        .map_err(|e| format!("cannot load {path}: {e}"))?;
+    let addr = flags.get("addr").unwrap_or("127.0.0.1:0");
+    let idle_secs: u64 = flags.parse_num("idle-timeout", 600)?;
+    let config = aide::core::ServeConfig {
+        batch: flags.parse_num("batch", 20)?,
+        idle_timeout: std::time::Duration::from_secs(idle_secs),
+        max_sessions: flags.parse_num("max-sessions", 64)?,
+        trace_dir: flags.get("trace-dir").map(std::path::PathBuf::from),
+    };
+    if config.batch == 0 || config.batch > aide::core::serve::MAX_BATCH {
+        return Err(format!(
+            "--batch must be in 1..={}",
+            aide::core::serve::MAX_BATCH
+        ));
+    }
+    if let Some(dir) = &config.trace_dir {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create trace dir {}: {e}", dir.display()))?;
+    }
+    let listener = std::net::TcpListener::bind(addr)
+        .map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    let local = listener.local_addr().map_err(|e| e.to_string())?;
+    println!(
+        "serving {} rows x {} lanes from {path}",
+        view.len(),
+        view.dims()
+    );
+    println!("listening on {local}");
+    std::io::stdout().flush().map_err(|e| e.to_string())?;
+    let host = Arc::new(aide::core::SessionHost::new(view, config));
+    aide::core::serve_listener(listener, host).map_err(|e| e.to_string())
 }
 
 fn cmd_query(flags: &Flags) -> Result<(), String> {

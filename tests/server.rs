@@ -1,0 +1,358 @@
+//! End-to-end tests of `aide serve`: two concurrent server sessions must
+//! be bit-identical to standalone sessions with the same seeds, the
+//! shared region cache must show cross-session hits, and the TCP framing
+//! must reject hostile input with typed errors instead of dying.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+
+use aide::core::{ExplorationSession, SessionConfig, TargetQuery};
+use aide::index::{ExtractionEngine, IndexKind};
+use aide::util::geom::Rect;
+use aide::util::json::Json;
+use aide::util::rng::{Rng, Xoshiro256pp};
+use aide::util::Tracer;
+
+fn tmp_path(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("aide_server_test_{}_{name}", std::process::id()));
+    p
+}
+
+/// The normalized target both the server sessions and the standalone
+/// comparators label against.
+fn target() -> TargetQuery {
+    TargetQuery::new(vec![Rect::new(vec![40.0, 55.0], vec![48.0, 63.0])])
+}
+
+/// Packs a deterministic synthetic dataset into an `aide-view/1` file
+/// and returns the *loaded* view — the exact bits sessions will see.
+fn packed_view(path: &std::path::Path) -> aide::data::NumericView {
+    let mut rng = Xoshiro256pp::seed_from_u64(9);
+    let mapper = aide::data::view::SpaceMapper::new(
+        vec!["x".into(), "y".into()],
+        vec![
+            aide::data::view::Domain::new(0.0, 100.0),
+            aide::data::view::Domain::new(0.0, 100.0),
+        ],
+    );
+    let n = 20_000;
+    let data: Vec<f64> = (0..n * 2).map(|_| rng.uniform(0.0, 100.0)).collect();
+    let view = aide::data::NumericView::new(mapper, data, (0..n as u32).collect());
+    aide::data::write_view(&view, path).expect("write view");
+    aide::data::load_view(path).expect("load view back")
+}
+
+/// A server process plus the address it bound.
+struct Server {
+    child: Child,
+    addr: String,
+}
+
+impl Server {
+    fn spawn(view_path: &std::path::Path, trace_dir: &std::path::Path) -> Server {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_aide"))
+            .args([
+                "serve",
+                "--view",
+                view_path.to_str().unwrap(),
+                "--addr",
+                "127.0.0.1:0",
+                "--trace-dir",
+                trace_dir.to_str().unwrap(),
+            ])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn aide serve");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut lines = BufReader::new(stdout).lines();
+        let addr = loop {
+            let line = lines
+                .next()
+                .expect("server prints its address before EOF")
+                .expect("readable stdout");
+            if let Some(addr) = line.strip_prefix("listening on ") {
+                break addr.to_string();
+            }
+        };
+        Server { child, addr }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// One protocol connection: hello already consumed.
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    hello: Json,
+}
+
+impl Client {
+    fn connect(addr: &str) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect to server");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("hello frame");
+        let hello = Json::parse(line.trim_end()).expect("hello is valid JSON");
+        Client {
+            reader,
+            writer: stream,
+            hello,
+        }
+    }
+
+    fn request(&mut self, frame: &str) -> Json {
+        self.writer.write_all(frame.as_bytes()).expect("send");
+        self.writer.write_all(b"\n").expect("send newline");
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("response");
+        Json::parse(line.trim_end()).expect("response is valid JSON")
+    }
+}
+
+/// Extracts `(row, point)` pairs from a response's `proposals` array.
+fn wire_proposals(reply: &Json) -> Vec<(u64, Vec<f64>)> {
+    reply
+        .get("proposals")
+        .and_then(Json::as_array)
+        .expect("proposals array")
+        .iter()
+        .map(|p| {
+            let row = p.get("row").and_then(Json::as_u64).expect("row id");
+            let point: Vec<f64> = p
+                .get("point")
+                .and_then(Json::as_array)
+                .expect("point array")
+                .iter()
+                .map(|c| c.as_f64().expect("coordinate"))
+                .collect();
+            (row, point)
+        })
+        .collect()
+}
+
+/// A standalone session configured exactly like a server session: same
+/// batch, inline threads, grid engine over the same view bits.
+fn standalone(view: &aide::data::NumericView, seed: u64, batch: usize) -> ExplorationSession {
+    let view = Arc::new(view.clone());
+    let engine = ExtractionEngine::from_arc(Arc::clone(&view), IndexKind::Grid);
+    let config = SessionConfig {
+        samples_per_iteration: batch,
+        threads: 1,
+        tracer: Tracer::disabled(),
+        ..SessionConfig::default()
+    };
+    ExplorationSession::new(
+        config,
+        engine,
+        view,
+        target(),
+        Xoshiro256pp::seed_from_u64(seed),
+    )
+}
+
+#[test]
+fn two_interleaved_server_sessions_match_standalone_runs() {
+    let view_path = tmp_path("e2e.aideview");
+    let trace_dir = tmp_path("e2e_traces");
+    std::fs::create_dir_all(&trace_dir).expect("trace dir");
+    let view = packed_view(&view_path);
+    let server = Server::spawn(&view_path, &trace_dir);
+
+    let t = target();
+    let create = r#"{"v":1,"op":"create","seed":SEED,"batch":10,"target":[{"lo":[40,55],"hi":[48,63]}]}"#;
+
+    // Two sessions over two separate connections, interleaved rounds.
+    let mut conn_a = Client::connect(&server.addr);
+    let mut conn_b = Client::connect(&server.addr);
+    assert_eq!(
+        conn_a.hello.get("hello").and_then(Json::as_str),
+        Some("aide-serve/1")
+    );
+    assert_eq!(conn_a.hello.get("rows").and_then(Json::as_u64), Some(20_000));
+
+    let mut standalone_a = standalone(&view, 101, 10);
+    let mut standalone_b = standalone(&view, 202, 10);
+
+    let reply_a = conn_a.request(&create.replace("SEED", "101"));
+    let reply_b = conn_b.request(&create.replace("SEED", "202"));
+    let id_a = reply_a.get("session").and_then(Json::as_u64).expect("id a");
+    let id_b = reply_b.get("session").and_then(Json::as_u64).expect("id b");
+    assert_ne!(id_a, id_b);
+
+    let mut wire_a = wire_proposals(&reply_a);
+    let mut wire_b = wire_proposals(&reply_b);
+
+    let rounds = 6;
+    for round in 0..rounds {
+        for (conn, id, session, wire) in [
+            (&mut conn_a, id_a, &mut standalone_a, &mut wire_a),
+            (&mut conn_b, id_b, &mut standalone_b, &mut wire_b),
+        ] {
+            // The standalone session proposes the same batch, bit for bit.
+            let local: Vec<(u64, Vec<f64>)> = session
+                .propose_iteration()
+                .iter()
+                .map(|s| (s.row_id as u64, s.point.clone()))
+                .collect();
+            assert_eq!(local.len(), wire.len(), "round {round} batch size");
+            for (l, w) in local.iter().zip(wire.iter()) {
+                assert_eq!(l.0, w.0, "round {round} row id");
+                let l_bits: Vec<u64> = l.1.iter().map(|c| c.to_bits()).collect();
+                let w_bits: Vec<u64> = w.1.iter().map(|c| c.to_bits()).collect();
+                assert_eq!(l_bits, w_bits, "round {round} point bits");
+            }
+            // Both sides label by target membership over the same bits.
+            let labels: Vec<bool> = wire.iter().map(|(_, p)| t.contains(p)).collect();
+            let local_report = session.complete_iteration(&labels).clone();
+            let wire_labels: Vec<String> = labels.iter().map(|b| b.to_string()).collect();
+            let reply = conn.request(&format!(
+                r#"{{"v":1,"op":"label","session":{id},"labels":[{}]}}"#,
+                wire_labels.join(",")
+            ));
+            assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(true));
+            assert_eq!(
+                reply.get("total_labeled").and_then(Json::as_u64),
+                Some(local_report.total_labeled as u64)
+            );
+            assert_eq!(
+                reply.get("f").and_then(Json::as_f64).map(f64::to_bits),
+                Some(local_report.f_measure.to_bits()),
+                "round {round} F-measure bits"
+            );
+            *wire = wire_proposals(&reply);
+        }
+    }
+
+    // Final results agree field by field, including the predicted SQL.
+    for (conn, id, session) in [
+        (&mut conn_a, id_a, &mut standalone_a),
+        (&mut conn_b, id_b, &mut standalone_b),
+    ] {
+        let result = conn.request(&format!(r#"{{"v":1,"op":"result","session":{id}}}"#));
+        // The standalone comparator has a pending proposal batch from the
+        // final compare round; the server session does too — history and
+        // model state are what `result` reads.
+        assert_eq!(
+            result.get("iterations").and_then(Json::as_u64),
+            Some(session.history().len() as u64)
+        );
+        assert_eq!(
+            result.get("total_labeled").and_then(Json::as_u64),
+            Some(session.labeled().len() as u64)
+        );
+        assert_eq!(
+            result.get("relevant").and_then(Json::as_u64),
+            Some(session.labeled().relevant_count() as u64)
+        );
+        assert_eq!(
+            result.get("regions").and_then(Json::as_u64),
+            Some(session.relevant_regions().len() as u64)
+        );
+        assert_eq!(
+            result.get("final_f").and_then(Json::as_f64).map(f64::to_bits),
+            Some(session.result().final_f.to_bits())
+        );
+        assert_eq!(
+            result.get("sql").and_then(Json::as_str),
+            Some(session.predicted_selection("data").to_sql().as_str())
+        );
+    }
+
+    // The second session rode the first one's cache: shared hits are
+    // visible in stats.
+    let stats = conn_a.request(r#"{"v":1,"op":"stats"}"#);
+    assert_eq!(stats.get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(stats.get("sessions_active").and_then(Json::as_u64), Some(2));
+    assert!(
+        stats.get("cache_hits").and_then(Json::as_u64).unwrap() > 0,
+        "shared cache shows no hits"
+    );
+
+    // Closing writes one trace stream per session.
+    for (conn, id) in [(&mut conn_a, id_a), (&mut conn_b, id_b)] {
+        let closed = conn.request(&format!(r#"{{"v":1,"op":"close","session":{id}}}"#));
+        assert_eq!(closed.get("ok").and_then(Json::as_bool), Some(true));
+        let trace = closed.get("trace").and_then(Json::as_str).expect("trace path");
+        let content = std::fs::read_to_string(trace).expect("trace file");
+        assert!(content.contains("session_start"));
+        assert!(content.contains("session_end"));
+    }
+
+    drop(server);
+    std::fs::remove_file(&view_path).ok();
+    std::fs::remove_dir_all(&trace_dir).ok();
+}
+
+#[test]
+fn hostile_frames_get_typed_errors_and_the_server_survives() {
+    let view_path = tmp_path("fuzz.aideview");
+    let trace_dir = tmp_path("fuzz_traces");
+    std::fs::create_dir_all(&trace_dir).expect("trace dir");
+    packed_view(&view_path);
+    let server = Server::spawn(&view_path, &trace_dir);
+
+    // Bad JSON and protocol misuse answer with typed errors on a live
+    // connection.
+    let mut conn = Client::connect(&server.addr);
+    for (frame, code) in [
+        ("{broken", "bad_json"),
+        (r#"{"op":"stats"}"#, "bad_version"),
+        (r#"{"v":9,"op":"stats"}"#, "bad_version"),
+        (r#"{"v":1,"op":"explode"}"#, "unknown_op"),
+        (r#"{"v":1,"op":"label","session":42,"labels":[]}"#, "no_session"),
+        (r#"{"v":1,"op":"create"}"#, "bad_request"),
+    ] {
+        let reply = conn.request(frame);
+        assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(reply.get("error").and_then(Json::as_str), Some(code), "{frame}");
+    }
+
+    // An oversized line draws `bad_frame` and a close.
+    let stream = TcpStream::connect(&server.addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut hello = String::new();
+    reader.read_line(&mut hello).expect("hello");
+    let mut w = stream.try_clone().expect("clone");
+    let huge = vec![b'x'; (1 << 20) + 100];
+    w.write_all(&huge).expect("oversized line");
+    w.write_all(b"\n").expect("newline");
+    let mut reply = String::new();
+    reader.read_line(&mut reply).expect("bad_frame reply");
+    let reply = Json::parse(reply.trim_end()).expect("valid error frame");
+    assert_eq!(reply.get("error").and_then(Json::as_str), Some("bad_frame"));
+    let mut rest = String::new();
+    assert_eq!(
+        reader.read_to_string(&mut rest).expect("connection closed"),
+        0,
+        "server must close after a framing violation"
+    );
+
+    // A truncated frame (EOF mid-line) is dropped silently.
+    {
+        let stream = TcpStream::connect(&server.addr).expect("connect");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut hello = String::new();
+        reader.read_line(&mut hello).expect("hello");
+        let mut w = stream.try_clone().expect("clone");
+        w.write_all(br#"{"v":1,"op":"stats""#).expect("partial");
+        // Drop without the newline: the server discards the fragment.
+    }
+
+    // The server is still healthy afterwards.
+    let reply = conn.request(r#"{"v":1,"op":"stats"}"#);
+    assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(true));
+
+    drop(server);
+    std::fs::remove_file(&view_path).ok();
+    std::fs::remove_dir_all(&trace_dir).ok();
+}
